@@ -1,0 +1,41 @@
+//! Ablations A1–A5 (DESIGN.md): prints the ablation table and measures
+//! the two cheapest ablation pairs end to end on tiny instances.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wfbench::small_sample_config;
+use wfengine::{run_workflow, RunConfig, SchedulerPolicy};
+use wfgen::App;
+use wfstorage::{S3Config, StorageConfigs, StorageKind};
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", expt::ablations::render(&expt::ablations::run(42)));
+
+    c.bench_function("ablations/tiny_s3_cache_on_vs_off", |b| {
+        b.iter(|| {
+            let on = run_workflow(App::Broadband.tiny_workflow(), RunConfig::cell(StorageKind::S3, 2))
+                .expect("on");
+            let mut cfg = RunConfig::cell(StorageKind::S3, 2);
+            cfg.storage_cfgs = StorageConfigs {
+                s3: Some(S3Config { client_cache: false, ..S3Config::default() }),
+                ..StorageConfigs::default()
+            };
+            let off = run_workflow(App::Broadband.tiny_workflow(), cfg).expect("off");
+            black_box((on.makespan_secs, off.makespan_secs))
+        })
+    });
+    c.bench_function("ablations/tiny_data_aware_scheduler", |b| {
+        b.iter(|| {
+            let mut cfg = RunConfig::cell(StorageKind::GlusterNufa, 2);
+            cfg.scheduler = SchedulerPolicy::DataAware;
+            black_box(run_workflow(App::Broadband.tiny_workflow(), cfg).expect("run").makespan_secs)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = small_sample_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 3: Epigenome runtime across storage systems and cluster sizes
+//! (E3). Prints the full regenerated figure, then measures
+//! representative cells.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wfbench::{run_tiny, small_sample_config};
+use wfgen::App;
+use wfstorage::StorageKind;
+
+fn bench(c: &mut Criterion) {
+    let fig = expt::runtime_figure(App::Epigenome, 42);
+    println!("\n{}", expt::render::runtime_figure(&fig, 3));
+
+    c.bench_function("fig3/epigenome_tiny_glusterfs_4n", |b| {
+        b.iter(|| black_box(run_tiny(App::Epigenome, StorageKind::GlusterNufa, 4)))
+    });
+    c.bench_function("fig3/epigenome_tiny_s3_4n", |b| {
+        b.iter(|| black_box(run_tiny(App::Epigenome, StorageKind::S3, 4)))
+    });
+    c.bench_function("fig3/epigenome_tiny_nfs_4n", |b| {
+        b.iter(|| black_box(run_tiny(App::Epigenome, StorageKind::Nfs, 4)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = small_sample_config();
+    targets = bench
+}
+criterion_main!(benches);

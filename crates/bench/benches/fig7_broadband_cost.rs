@@ -1,0 +1,41 @@
+//! Fig. 7: Broadband cost under per-hour and per-second billing
+//! (E7). Prints the regenerated cost figure and measures the
+//! simulate-then-bill pipeline on a small instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vcluster::InstanceType;
+use wfbench::{run_tiny, small_sample_config};
+use wfcost::{BillingGranularity, CostModel, UsageReport};
+use wfgen::App;
+use wfstorage::StorageKind;
+
+fn bench(c: &mut Criterion) {
+    let fig = expt::runtime_figure(App::Broadband, 42);
+    println!("\n{}", expt::render::cost_figure(&expt::cost_figure(&fig), 7));
+
+    c.bench_function("fig7/broadband_tiny_simulate_and_bill", |b| {
+        b.iter(|| {
+            let stats = run_tiny(App::Broadband, StorageKind::Nfs, 2);
+            let usage = UsageReport {
+                wall_secs: stats.makespan_secs,
+                instances: vec![(InstanceType::C1Xlarge, 2), (InstanceType::M1Xlarge, 1)],
+                s3_puts: stats.billing.s3_puts,
+                s3_gets: stats.billing.s3_gets,
+                s3_peak_bytes: stats.billing.s3_peak_bytes,
+            };
+            let m = CostModel::default();
+            black_box((
+                m.workflow_cost(&usage, BillingGranularity::PerHour),
+                m.workflow_cost(&usage, BillingGranularity::PerSecond),
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = small_sample_config();
+    targets = bench
+}
+criterion_main!(benches);

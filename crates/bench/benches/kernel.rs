@@ -1,0 +1,53 @@
+//! Simulator-kernel microbenchmarks: event-calendar throughput, fluid-flow
+//! rate recomputation, workflow generation and validation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use simcore::{FlowSpec, Sim, SimTime};
+use wfgen::montage::{montage, MontageConfig};
+
+fn event_calendar(c: &mut Criterion) {
+    c.bench_function("kernel/calendar_100k_events", |b| {
+        b.iter(|| {
+            let mut sim: Sim<u64> = Sim::new();
+            for i in 0..100_000u64 {
+                sim.schedule_at(SimTime::from_nanos(i * 7919 % 1_000_000), |_, count| {
+                    *count += 1;
+                });
+            }
+            let mut count = 0u64;
+            sim.run(&mut count);
+            black_box(count)
+        })
+    });
+}
+
+fn fluid_flows(c: &mut Criterion) {
+    c.bench_function("kernel/flows_64_concurrent_over_8_resources", |b| {
+        b.iter(|| {
+            let mut sim: Sim<()> = Sim::new();
+            let res: Vec<_> = (0..8).map(|i| sim.add_resource(format!("r{i}"), 1e8)).collect();
+            for i in 0..512u64 {
+                let path = vec![res[(i % 8) as usize], res[((i / 8) % 8) as usize]];
+                sim.schedule_at(SimTime::from_nanos(i * 1_000_000), move |s, _| {
+                    s.start_flow(FlowSpec::new(10_000_000, path), |_, _| {});
+                });
+            }
+            sim.run(&mut ());
+            black_box(sim.now())
+        })
+    });
+}
+
+fn generators(c: &mut Criterion) {
+    c.bench_function("kernel/generate_montage_10429_tasks", |b| {
+        b.iter(|| black_box(montage(MontageConfig::paper())))
+    });
+    c.bench_function("kernel/stats_montage_paper", |b| {
+        let wf = montage(MontageConfig::paper());
+        b.iter(|| black_box(wfdag::analysis::stats(&wf)))
+    });
+}
+
+criterion_group!(benches, event_calendar, fluid_flows, generators);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Table I: the wfprof-style resource-usage classification (E1).
+//! Prints the regenerated table and measures the profiler itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wfgen::{classify, profile, App};
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated table once.
+    println!("\n{}", expt::render::table1(&expt::table1()));
+
+    let wf = App::Montage.paper_workflow();
+    c.bench_function("table1/profile_montage_10429_tasks", |b| {
+        b.iter(|| classify(&profile(black_box(&wf))))
+    });
+    c.bench_function("table1/generate_and_profile_all", |b| {
+        b.iter(|| {
+            for app in App::ALL {
+                black_box(classify(&profile(&app.tiny_workflow())));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! §III.C disk microbenchmark (E0): prints the measured device table and
+//! benches the end-to-end measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", expt::render::microbench(&expt::microbench::run()));
+    c.bench_function("microbench/all_devices", |b| {
+        b.iter(|| black_box(expt::microbench::run()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Shared helpers for the Criterion benchmarks.
+//!
+//! Every table and figure of the paper has a bench target that (a) prints
+//! the regenerated rows/series once, and (b) measures a representative
+//! simulation so `cargo bench` also tracks simulator performance.
+
+#![warn(missing_docs)]
+
+use wfengine::{run_workflow, RunConfig, RunStats};
+use wfgen::App;
+use wfstorage::StorageKind;
+
+/// Run one small same-shape instance of `app` — fast enough for a
+/// Criterion measurement loop.
+pub fn run_tiny(app: App, storage: StorageKind, workers: u32) -> RunStats {
+    run_workflow(app.tiny_workflow(), RunConfig::cell(storage, workers))
+        .expect("tiny cell runs")
+}
+
+/// Run one paper-scale cell (used to print figure rows, and measured for
+/// the cheaper applications).
+pub fn run_paper(app: App, storage: StorageKind, workers: u32) -> RunStats {
+    run_workflow(app.paper_workflow(), RunConfig::cell(storage, workers))
+        .expect("paper cell runs")
+}
+
+/// Criterion defaults for simulation-sized benchmarks.
+pub fn small_sample_config() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}

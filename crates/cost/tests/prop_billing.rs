@@ -1,0 +1,84 @@
+//! Property tests for the billing model.
+
+use proptest::prelude::*;
+use vcluster::InstanceType;
+use wfcost::{BillingGranularity, CostModel, UsageReport};
+
+fn any_instance() -> impl Strategy<Value = InstanceType> {
+    prop_oneof![
+        Just(InstanceType::C1Xlarge),
+        Just(InstanceType::M1Xlarge),
+        Just(InstanceType::M24Xlarge),
+        Just(InstanceType::M1Small),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Per-second billing never exceeds per-hour billing, and per-hour is
+    /// within one hourly rate of per-second (the rounding bound).
+    #[test]
+    fn hour_rounding_bounds(itype in any_instance(), secs in 1.0f64..200_000.0) {
+        let m = CostModel::default();
+        let ps = m.instance_cents(itype, secs, BillingGranularity::PerSecond);
+        let ph = m.instance_cents(itype, secs, BillingGranularity::PerHour);
+        let hourly = f64::from(itype.price_cents_per_hour());
+        prop_assert!(ps <= ph + 1e-9);
+        prop_assert!(ph <= ps + hourly + 1e-9, "rounding up costs at most one hour");
+    }
+
+    /// Billing is monotone in wall time under both granularities.
+    #[test]
+    fn monotone_in_time(itype in any_instance(), a in 1.0f64..100_000.0, b in 1.0f64..100_000.0) {
+        let m = CostModel::default();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for g in BillingGranularity::BOTH {
+            prop_assert!(m.instance_cents(itype, lo, g) <= m.instance_cents(itype, hi, g) + 1e-9);
+        }
+    }
+
+    /// Workflow cost is additive over instances.
+    #[test]
+    fn additive_over_instances(secs in 1.0f64..50_000.0, w in 1u32..16) {
+        let m = CostModel::default();
+        let single = UsageReport {
+            wall_secs: secs,
+            instances: vec![(InstanceType::C1Xlarge, 1)],
+            s3_puts: 0,
+            s3_gets: 0,
+            s3_peak_bytes: 0,
+        };
+        let many = UsageReport {
+            instances: vec![(InstanceType::C1Xlarge, w)],
+            ..single.clone()
+        };
+        for g in BillingGranularity::BOTH {
+            let one = m.workflow_cost(&single, g).total_cents();
+            let lots = m.workflow_cost(&many, g).total_cents();
+            prop_assert!((lots - one * f64::from(w)).abs() < 1e-6);
+        }
+    }
+
+    /// Request fees are linear and non-negative.
+    #[test]
+    fn request_fees_linear(puts in 0u64..10_000_000, gets in 0u64..10_000_000) {
+        let m = CostModel::default();
+        let c = m.request_cents(puts, gets);
+        prop_assert!(c >= 0.0);
+        let doubled = m.request_cents(puts * 2, gets * 2);
+        prop_assert!((doubled - 2.0 * c).abs() < 1e-6);
+    }
+
+    /// WAN staging time decomposes into bandwidth and handshake terms.
+    #[test]
+    fn staging_decomposes(bytes in 0u64..100_000_000_000u64, files in 0u64..100_000) {
+        use wfcost::transfer::{stage_in, TransferPricing, WanLink};
+        let link = WanLink::default();
+        let p = TransferPricing::default();
+        let e = stage_in(bytes, files, &link, &p);
+        let expect = bytes as f64 / link.bandwidth_bps + files as f64 * link.per_file_secs;
+        prop_assert!((e.secs - expect).abs() < 1e-9);
+        prop_assert!((e.cents - bytes as f64 / 1e9 * 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,91 @@
+//! Run configuration: one cell of the paper's experiment grid.
+
+use simcore::SimDuration;
+use vcluster::InstanceType;
+use wfstorage::{StorageConfigs, StorageKind};
+
+/// How the matchmaker picks a node for a ready job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerPolicy {
+    /// The paper's Condor setup: no data locality, no parent-child
+    /// affinity (§IV.A) — eligible nodes are tried in a rotating order.
+    LocalityBlind,
+    /// The "more data-aware scheduler" the paper suggests could improve
+    /// cache hits (§IV.A) — prefer the eligible node holding the most
+    /// input bytes. Ablation A3.
+    DataAware,
+}
+
+/// Transient-failure injection: each task execution fails with
+/// probability `prob`; DAGMan re-queues it up to `max_retries` times
+/// (Pegasus/DAGMan's standard retry behaviour).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureModel {
+    /// Per-execution failure probability in `[0, 1)`.
+    pub prob: f64,
+    /// Maximum retries before the workflow aborts.
+    pub max_retries: u32,
+}
+
+/// Configuration of one workflow execution.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Experiment seed; equal seeds give bit-identical runs.
+    pub seed: u64,
+    /// The data-sharing option under test.
+    pub storage: StorageKind,
+    /// Number of worker nodes (the paper sweeps 1, 2, 4, 8).
+    pub workers: u32,
+    /// Override the dedicated-server instance type (NFS: default
+    /// `m1.xlarge`; §V.C also tries `m2.4xlarge`).
+    pub server_type: Option<InstanceType>,
+    /// Zero-fill ephemeral disks first (ablation A1).
+    pub initialize_disks: bool,
+    /// Matchmaking policy.
+    pub scheduler: SchedulerPolicy,
+    /// Per-job workflow-management overhead (DAGMan release + Condor
+    /// matchmaking/dispatch), paid while holding the slot.
+    pub job_overhead: SimDuration,
+    /// Storage-system tunables (defaults are paper-calibrated).
+    pub storage_cfgs: StorageConfigs,
+    /// Optional transient-failure injection with DAGMan-style retries.
+    pub failures: Option<FailureModel>,
+}
+
+impl RunConfig {
+    /// A cell of the paper's main grid: `storage` × `workers`, everything
+    /// else as in §III–IV.
+    pub fn cell(storage: StorageKind, workers: u32) -> Self {
+        RunConfig {
+            seed: 42,
+            storage,
+            workers,
+            server_type: None,
+            initialize_disks: false,
+            scheduler: SchedulerPolicy::LocalityBlind,
+            job_overhead: SimDuration::from_nanos(250_000_000), // 0.25 s
+            storage_cfgs: StorageConfigs::default(),
+            failures: None,
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_defaults_match_paper_setup() {
+        let c = RunConfig::cell(StorageKind::Nfs, 4);
+        assert_eq!(c.workers, 4);
+        assert_eq!(c.scheduler, SchedulerPolicy::LocalityBlind);
+        assert!(!c.initialize_disks);
+        assert!(c.server_type.is_none());
+    }
+}

@@ -1,0 +1,212 @@
+//! The workflow driver: DAGMan-like dependency release and Condor-like
+//! dispatch, plus the per-job lifecycle
+//! (stage-in → reads → compute → writes → stage-out).
+
+use crate::exec::exec_plan;
+use crate::world::{TaskRecord, World};
+use simcore::{Sim, SimDuration, SimTime};
+use wfdag::TaskId;
+
+/// How many queued jobs the matchmaker examines per cycle (backfill
+/// window): a ready job that does not fit anywhere does not starve
+/// smaller jobs behind it, but the scan stays bounded.
+const BACKFILL_WINDOW: usize = 64;
+
+/// Kick off the run: pre-stage inputs, release root tasks, dispatch.
+pub fn start_run(sim: &mut Sim<World>, world: &mut World) {
+    let inputs = world.workflow_inputs();
+    world.storage.prestage(&world.cluster, &inputs);
+    for t in world.wf.roots() {
+        mark_ready(sim, world, t);
+    }
+    try_dispatch(sim, world);
+}
+
+fn mark_ready(sim: &mut Sim<World>, world: &mut World, task: TaskId) {
+    world.ready.push_back(task);
+    let now = sim.now();
+    let attempts = world.records[task.index()].map_or(0, |r| r.attempts);
+    world.records[task.index()] = Some(TaskRecord {
+        node: vcluster::NodeId(u32::MAX),
+        ready_at: now,
+        start_at: now,
+        ops_start: now,
+        stage_in_start: now,
+        reads_start: now,
+        compute_start: now,
+        compute_end: now,
+        stage_out_start: now,
+        end_at: now,
+        attempts,
+    });
+}
+
+/// One matchmaking cycle: dispatch every queued job (within the backfill
+/// window) that fits on some node.
+pub fn try_dispatch(sim: &mut Sim<World>, world: &mut World) {
+    let mut examined = 0;
+    let mut kept = std::collections::VecDeque::new();
+    while let Some(task) = world.ready.pop_front() {
+        if examined >= BACKFILL_WINDOW {
+            kept.push_back(task);
+            continue;
+        }
+        examined += 1;
+        match world.pick_node(task) {
+            Some(i) => dispatch(sim, world, task, i),
+            None => kept.push_back(task),
+        }
+    }
+    world.ready = kept;
+}
+
+fn dispatch(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: usize) {
+    world.reserve(worker_ix, task);
+    let node = world.cluster.workers()[worker_ix];
+    {
+        let rec = world.records[task.index()].as_mut().expect("record exists");
+        rec.node = node;
+        rec.start_at = sim.now();
+    }
+    // DAGMan/Condor per-job overhead is paid while holding the slot.
+    let overhead = world.cfg.job_overhead;
+    sim.schedule_in(overhead, move |sim, world| {
+        job_ops(sim, world, task, worker_ix);
+    });
+}
+
+/// The task's POSIX operation storm, charged to storage systems with a
+/// central per-op bottleneck (NFS).
+fn job_ops(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: usize) {
+    world.records[task.index()].as_mut().expect("record").ops_start = sim.now();
+    let node = world.cluster.workers()[worker_ix];
+    let io_ops = world.wf.task(task).io_ops;
+    let plan = world.storage.plan_task_ops(&world.cluster, node, io_ops);
+    exec_plan(
+        sim,
+        world,
+        plan,
+        Box::new(move |sim, world| job_stage_in(sim, world, task, worker_ix)),
+    );
+}
+
+fn job_stage_in(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: usize) {
+    world.records[task.index()].as_mut().expect("record").stage_in_start = sim.now();
+    let node = world.cluster.workers()[worker_ix];
+    let inputs = world.task_inputs(task);
+    let plan = world.storage.plan_stage_in(&world.cluster, node, &inputs);
+    exec_plan(
+        sim,
+        world,
+        plan,
+        Box::new(move |sim, world| job_read(sim, world, task, worker_ix, 0)),
+    );
+}
+
+fn job_read(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: usize, idx: usize) {
+    if idx == 0 {
+        world.records[task.index()].as_mut().expect("record").reads_start = sim.now();
+    }
+    let inputs = world.task_inputs(task);
+    if idx >= inputs.len() {
+        job_compute(sim, world, task, worker_ix);
+        return;
+    }
+    let node = world.cluster.workers()[worker_ix];
+    let plan = world.storage.plan_read(&world.cluster, node, inputs[idx]);
+    exec_plan(
+        sim,
+        world,
+        plan,
+        Box::new(move |sim, world| job_read(sim, world, task, worker_ix, idx + 1)),
+    );
+}
+
+fn job_compute(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: usize) {
+    let node = world.cluster.workers()[worker_ix];
+    let speed = world.cluster.node(node).itype.core_speed();
+    let dur = SimDuration::from_secs_f64(world.wf.task(task).cpu_secs / speed);
+    world.records[task.index()].as_mut().expect("record").compute_start = sim.now();
+    sim.schedule_in(dur, move |sim, world| {
+        world.records[task.index()].as_mut().expect("record").compute_end = sim.now();
+        // Transient-failure injection (before any output is written, so
+        // the write-once discipline survives the retry).
+        if let Some(fm) = world.cfg.failures {
+            {
+                let rec = world.records[task.index()].as_mut().expect("record");
+                rec.attempts += 1;
+            }
+            if world.rng.chance(fm.prob) {
+                let attempts = world.records[task.index()].expect("record").attempts;
+                world.release(worker_ix, task);
+                if attempts > fm.max_retries {
+                    world.aborted = Some(task);
+                    // Drain the queue so the run winds down.
+                    world.ready.clear();
+                    return;
+                }
+                world.retries += 1;
+                mark_ready(sim, world, task);
+                try_dispatch(sim, world);
+                return;
+            }
+        } else {
+            world.records[task.index()].as_mut().expect("record").attempts += 1;
+        }
+        job_write(sim, world, task, worker_ix, 0);
+    });
+}
+
+fn job_write(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: usize, idx: usize) {
+    let outputs = world.task_outputs(task);
+    if idx >= outputs.len() {
+        job_stage_out(sim, world, task, worker_ix);
+        return;
+    }
+    let node = world.cluster.workers()[worker_ix];
+    let plan = world.storage.plan_write(&world.cluster, node, outputs[idx]);
+    exec_plan(
+        sim,
+        world,
+        plan,
+        Box::new(move |sim, world| job_write(sim, world, task, worker_ix, idx + 1)),
+    );
+}
+
+fn job_stage_out(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: usize) {
+    world.records[task.index()].as_mut().expect("record").stage_out_start = sim.now();
+    let node = world.cluster.workers()[worker_ix];
+    let outputs = world.task_outputs(task);
+    let plan = world.storage.plan_stage_out(&world.cluster, node, &outputs);
+    exec_plan(
+        sim,
+        world,
+        plan,
+        Box::new(move |sim, world| job_done(sim, world, task, worker_ix)),
+    );
+}
+
+fn job_done(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: usize) {
+    world.release(worker_ix, task);
+    world.records[task.index()].as_mut().expect("record").end_at = sim.now();
+    world.done += 1;
+    if world.done == world.wf.task_count() {
+        world.finished_at = Some(sim.now());
+    }
+    // DAGMan releases children whose last parent just finished.
+    let children: Vec<TaskId> = world.wf.children(task).to_vec();
+    for c in children {
+        let p = &mut world.pending_parents[c.index()];
+        debug_assert!(*p > 0, "child with no pending parents released");
+        *p -= 1;
+        if *p == 0 {
+            mark_ready(sim, world, c);
+        }
+    }
+    try_dispatch(sim, world);
+}
+
+/// The workflow makespan (§V): first submission to last completion.
+pub fn makespan(world: &World) -> Option<SimTime> {
+    world.finished_at
+}

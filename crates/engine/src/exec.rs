@@ -1,0 +1,84 @@
+//! Executing storage [`OpPlan`]s against the simulator.
+
+use crate::world::World;
+use simcore::Sim;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+use wfstorage::op::{Note, OpPlan, Stage};
+
+/// A continuation fired when an operation completes.
+pub type Cont = Box<dyn FnOnce(&mut Sim<World>, &mut World)>;
+
+/// Execute a plan: background stages are queued onto the world's single
+/// writeback stream; foreground stages run in order; `done` fires when the
+/// last foreground stage completes.
+pub fn exec_plan(sim: &mut Sim<World>, world: &mut World, plan: OpPlan, done: Cont) {
+    for (stage, note) in plan.background {
+        enqueue_background(sim, world, stage, note);
+    }
+    exec_stages(sim, world, plan.stages.into(), done);
+}
+
+/// Run stages sequentially, then `done`.
+fn exec_stages(sim: &mut Sim<World>, world: &mut World, mut stages: VecDeque<Stage>, done: Cont) {
+    match stages.pop_front() {
+        None => done(sim, world),
+        Some(stage) => exec_stage(
+            sim,
+            stage,
+            Box::new(move |sim, world| exec_stages(sim, world, stages, done)),
+        ),
+    }
+}
+
+/// Run one stage: pay the latency, then run all legs in parallel; `done`
+/// fires when the last leg lands.
+fn exec_stage(sim: &mut Sim<World>, stage: Stage, done: Cont) {
+    sim.schedule_in(stage.latency, move |sim, world| {
+        if stage.legs.is_empty() {
+            done(sim, world);
+            return;
+        }
+        let remaining = Rc::new(Cell::new(stage.legs.len()));
+        let done_slot = Rc::new(RefCell::new(Some(done)));
+        for leg in &stage.legs {
+            let remaining = Rc::clone(&remaining);
+            let done_slot = Rc::clone(&done_slot);
+            sim.start_flow(leg.to_spec(), move |sim, world| {
+                remaining.set(remaining.get() - 1);
+                if remaining.get() == 0 {
+                    let d = done_slot.borrow_mut().take().expect("continuation fired twice");
+                    d(sim, world);
+                }
+            });
+        }
+    });
+}
+
+/// Queue a background stage onto the single writeback stream.
+fn enqueue_background(sim: &mut Sim<World>, world: &mut World, stage: Stage, note: Option<Note>) {
+    world.bg_queue.push_back((stage, note));
+    if !world.bg_active {
+        start_next_background(sim, world);
+    }
+}
+
+/// Start the next queued background stage, if any.
+fn start_next_background(sim: &mut Sim<World>, world: &mut World) {
+    let Some((stage, note)) = world.bg_queue.pop_front() else {
+        world.bg_active = false;
+        return;
+    };
+    world.bg_active = true;
+    exec_stage(
+        sim,
+        stage,
+        Box::new(move |sim, world| {
+            if let Some(n) = note {
+                world.storage.on_background_done(n);
+            }
+            start_next_background(sim, world);
+        }),
+    );
+}

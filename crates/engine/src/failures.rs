@@ -1,0 +1,107 @@
+//! Tests for transient-failure injection and DAGMan-style retries.
+//!
+//! (Test-only module: the mechanism lives in [`crate::driver`], configured
+//! by [`crate::config::FailureModel`].)
+
+#[cfg(test)]
+mod tests {
+    use crate::{run_workflow, FailureModel, RunConfig, RunError};
+    use wfdag::{Workflow, WorkflowBuilder};
+    use wfstorage::StorageKind;
+
+    fn chain(n: usize) -> Workflow {
+        let mut b = WorkflowBuilder::new("chain");
+        let mut prev = None;
+        for i in 0..n {
+            let out = b.file(format!("f{i}"), 5_000_000);
+            let inputs = prev.map(|p| vec![p]).unwrap_or_default();
+            b.task(format!("t{i}"), "step", 2.0, 128 << 20, inputs, vec![out]);
+            prev = Some(out);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn retries_recover_from_transient_failures() {
+        let mut cfg = RunConfig::cell(StorageKind::GlusterNufa, 2);
+        cfg.failures = Some(FailureModel {
+            prob: 0.3,
+            max_retries: 50,
+        });
+        let stats = run_workflow(chain(20), cfg).unwrap();
+        assert_eq!(stats.tasks, 20, "all tasks complete despite failures");
+        assert!(stats.retries > 0, "with p=0.3 over 20 tasks some retries occur");
+        // Retried tasks report attempts > 1.
+        assert!(stats.records.iter().any(|r| r.attempts > 1));
+    }
+
+    #[test]
+    fn retries_lengthen_the_makespan() {
+        let clean = run_workflow(chain(20), RunConfig::cell(StorageKind::GlusterNufa, 2)).unwrap();
+        let mut cfg = RunConfig::cell(StorageKind::GlusterNufa, 2);
+        cfg.failures = Some(FailureModel {
+            prob: 0.3,
+            max_retries: 50,
+        });
+        let faulty = run_workflow(chain(20), cfg).unwrap();
+        assert!(
+            faulty.makespan_secs > clean.makespan_secs,
+            "failures must cost time: {} vs {}",
+            faulty.makespan_secs,
+            clean.makespan_secs
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_abort_the_run() {
+        let mut cfg = RunConfig::cell(StorageKind::GlusterNufa, 2);
+        cfg.failures = Some(FailureModel {
+            prob: 1.0, // every execution fails
+            max_retries: 3,
+        });
+        let err = run_workflow(chain(3), cfg).unwrap_err();
+        assert!(matches!(err, RunError::RetriesExhausted { .. }), "{err}");
+    }
+
+    #[test]
+    fn zero_probability_changes_nothing() {
+        let clean = run_workflow(chain(10), RunConfig::cell(StorageKind::Nfs, 2)).unwrap();
+        let mut cfg = RunConfig::cell(StorageKind::Nfs, 2);
+        cfg.failures = Some(FailureModel {
+            prob: 0.0,
+            max_retries: 3,
+        });
+        let with_model = run_workflow(chain(10), cfg).unwrap();
+        assert_eq!(clean.makespan_secs.to_bits(), with_model.makespan_secs.to_bits());
+        assert_eq!(with_model.retries, 0);
+        assert!(with_model.records.iter().all(|r| r.attempts == 1));
+    }
+
+    #[test]
+    fn failure_runs_are_deterministic() {
+        let run = || {
+            let mut cfg = RunConfig::cell(StorageKind::S3, 2).with_seed(7);
+            cfg.failures = Some(FailureModel {
+                prob: 0.25,
+                max_retries: 20,
+            });
+            run_workflow(chain(15), cfg).unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.makespan_secs.to_bits(), b.makespan_secs.to_bits());
+        assert_eq!(a.retries, b.retries);
+    }
+
+    #[test]
+    fn write_once_survives_retries() {
+        // Failures happen before writes, so storage write-once asserts
+        // must hold even with heavy retrying on S3 (PUT discipline).
+        let mut cfg = RunConfig::cell(StorageKind::S3, 2);
+        cfg.failures = Some(FailureModel {
+            prob: 0.4,
+            max_retries: 100,
+        });
+        let stats = run_workflow(chain(20), cfg).unwrap();
+        assert_eq!(stats.billing.s3_puts, 20, "exactly one PUT per output");
+    }
+}

@@ -1,0 +1,187 @@
+//! Top-level entry point: execute one workflow under one configuration.
+
+use crate::config::RunConfig;
+use crate::driver::{makespan, start_run};
+use crate::world::{TaskRecord, World};
+use simcore::{Sim, SimTime};
+use vcluster::Cluster;
+use wfdag::Workflow;
+use serde::{Deserialize, Serialize};
+use wfstorage::{build_storage, cluster_spec_for, StorageBilling, StorageOpStats};
+
+/// What a run produced.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// The makespan (§V): first submission to last task completion.
+    pub makespan_secs: f64,
+    /// Tasks executed.
+    pub tasks: usize,
+    /// Simulation events fired (diagnostic).
+    pub events: u64,
+    /// Storage operation counters.
+    pub op_stats: StorageOpStats,
+    /// Billing-relevant usage (S3 requests).
+    pub billing: StorageBilling,
+    /// Sum of wall time tasks spent in I/O phases.
+    pub total_io_secs: f64,
+    /// Sum of wall time tasks spent computing.
+    pub total_cpu_secs: f64,
+    /// Task re-executions after injected failures.
+    pub retries: u64,
+    /// Per-task execution records, indexed by task id.
+    pub records: Vec<TaskRecord>,
+    /// Per-resource usage rows (disks, NICs, servers), for utilization
+    /// reports.
+    pub resources: Vec<ResourceRow>,
+}
+
+/// Usage of one simulated resource over the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceRow {
+    /// Resource name (e.g. `w0.disk.fw`, `srv.nic.out`, `nfs.ops`).
+    pub name: String,
+    /// Total bytes (or operation units) that crossed it.
+    pub bytes: f64,
+    /// Seconds during which at least one flow used it.
+    pub busy_secs: f64,
+    /// Mean utilization over the makespan, 0..=1.
+    pub mean_utilization: f64,
+}
+
+impl RunStats {
+    /// Fraction of occupied-slot time spent on I/O (and WMS overhead)
+    /// rather than compute — the paper calls Montage >95% I/O by this
+    /// style of measure.
+    pub fn io_fraction(&self) -> f64 {
+        let total = self.total_io_secs + self.total_cpu_secs;
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.total_io_secs / total
+        }
+    }
+}
+
+/// Errors a run can surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// A task needs more memory than any worker has — it can never be
+    /// scheduled.
+    TaskTooLarge {
+        /// Name of the offending task.
+        task: String,
+    },
+    /// The simulation drained with unfinished tasks (a scheduling
+    /// deadlock; indicates a bug or an infeasible configuration).
+    Deadlock {
+        /// Tasks completed before the stall.
+        completed: usize,
+        /// Total tasks.
+        total: usize,
+    },
+    /// A task kept failing past its retry budget (failure injection).
+    RetriesExhausted {
+        /// Name of the failing task.
+        task: String,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::TaskTooLarge { task } => {
+                write!(f, "task {task} needs more memory than any worker provides")
+            }
+            RunError::Deadlock { completed, total } => {
+                write!(f, "run stalled at {completed}/{total} tasks")
+            }
+            RunError::RetriesExhausted { task } => {
+                write!(f, "task {task} exhausted its retry budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Execute `workflow` under `cfg` and return the statistics.
+///
+/// Deterministic: the same workflow, config and seed produce identical
+/// results.
+pub fn run_workflow(workflow: Workflow, cfg: RunConfig) -> Result<RunStats, RunError> {
+    let mut sim: Sim<World> = Sim::new();
+    let spec = {
+        let mut s = cluster_spec_for(cfg.storage, cfg.workers, cfg.server_type);
+        s.initialize_disks = cfg.initialize_disks;
+        s
+    };
+    let cluster = Cluster::provision(&mut sim, &spec);
+
+    // Feasibility: every task must fit in some worker's usable memory.
+    let usable = (cluster.node(cluster.workers()[0]).memory_bytes() as f64 * 0.9) as u64;
+    if let Some(t) = workflow.tasks().iter().find(|t| t.peak_mem > usable) {
+        return Err(RunError::TaskTooLarge { task: t.name.clone() });
+    }
+
+    let storage = build_storage(cfg.storage, &mut sim, &cluster, &cfg.storage_cfgs);
+    let mut world = World::new(workflow, cluster, storage, cfg);
+
+    sim.schedule_at(SimTime::ZERO, start_run);
+    sim.run(&mut world);
+
+    let total = world.wf.task_count();
+    if let Some(t) = world.aborted {
+        return Err(RunError::RetriesExhausted {
+            task: world.wf.task(t).name.clone(),
+        });
+    }
+    if world.done != total {
+        return Err(RunError::Deadlock {
+            completed: world.done,
+            total,
+        });
+    }
+    let makespan_secs = makespan(&world).expect("all tasks done").as_secs_f64();
+
+    let mut total_io_secs = 0.0;
+    let mut total_cpu_secs = 0.0;
+    let records: Vec<TaskRecord> = world
+        .records
+        .iter()
+        .map(|r| r.expect("every task has a record"))
+        .collect();
+    for r in &records {
+        total_io_secs += r.io_secs();
+        total_cpu_secs += r.cpu_secs();
+    }
+
+    let resources = (0..sim.resource_count())
+        .map(|i| {
+            let id = simcore::ResourceId::from_index(i);
+            let s = sim.resource_stats(id);
+            ResourceRow {
+                name: sim.resource_name(id).to_string(),
+                bytes: s.bytes,
+                busy_secs: s.busy_secs,
+                mean_utilization: if makespan_secs > 0.0 {
+                    (s.util_integral / makespan_secs).min(1.0)
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+
+    Ok(RunStats {
+        makespan_secs,
+        tasks: total,
+        events: sim.events_fired(),
+        op_stats: world.storage.op_stats(),
+        billing: world.storage.billing(),
+        total_io_secs,
+        total_cpu_secs,
+        retries: world.retries,
+        records,
+        resources,
+    })
+}

@@ -1,0 +1,242 @@
+//! Execution tracing and post-mortem analysis: phase decomposition,
+//! Pegasus-style jobstate logs, per-node Gantt charts and utilization
+//! summaries over a completed run.
+
+use crate::run::RunStats;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use wfdag::Workflow;
+
+/// Slot-seconds spent in each phase of the task lifecycle, summed over
+/// all tasks — where the cluster's time actually went.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// DAGMan/Condor dispatch overhead.
+    pub overhead: f64,
+    /// POSIX operation storms (NFS request processing).
+    pub ops: f64,
+    /// Stage-in transfers (S3 GETs, direct-transfer pulls).
+    pub stage_in: f64,
+    /// Input reads through the storage system.
+    pub read: f64,
+    /// Pure compute.
+    pub compute: f64,
+    /// Output writes through the storage system.
+    pub write: f64,
+    /// Stage-out transfers (S3 PUTs).
+    pub stage_out: f64,
+}
+
+impl PhaseBreakdown {
+    /// Total slot-seconds.
+    pub fn total(&self) -> f64 {
+        self.overhead + self.ops + self.stage_in + self.read + self.compute + self.write + self.stage_out
+    }
+
+    /// The I/O share (everything but compute and dispatch overhead).
+    pub fn io_fraction(&self) -> f64 {
+        let t = self.total();
+        if t <= 0.0 {
+            return 0.0;
+        }
+        (self.ops + self.stage_in + self.read + self.write + self.stage_out) / t
+    }
+}
+
+/// Decompose a run into phase totals.
+pub fn phase_breakdown(stats: &RunStats) -> PhaseBreakdown {
+    let mut p = PhaseBreakdown::default();
+    for r in &stats.records {
+        p.overhead += r.overhead_secs();
+        p.ops += r.ops_secs();
+        p.stage_in += r.stage_in_secs();
+        p.read += r.read_secs();
+        p.compute += r.cpu_secs();
+        p.write += r.write_secs();
+        p.stage_out += r.stage_out_secs();
+    }
+    p
+}
+
+/// Render a phase breakdown as an ASCII table with bars.
+pub fn render_phases(p: &PhaseBreakdown) -> String {
+    let mut s = String::new();
+    let total = p.total().max(1e-12);
+    let rows = [
+        ("dispatch overhead", p.overhead),
+        ("op storms (NFS)", p.ops),
+        ("stage-in", p.stage_in),
+        ("reads", p.read),
+        ("compute", p.compute),
+        ("writes", p.write),
+        ("stage-out", p.stage_out),
+    ];
+    let _ = writeln!(s, "PHASE BREAKDOWN — slot-seconds by lifecycle phase");
+    for (name, v) in rows {
+        let pct = v / total * 100.0;
+        let bar = "#".repeat((pct / 2.5).round() as usize);
+        let _ = writeln!(s, "  {name:<18} {v:>10.1}s {pct:>5.1}% |{bar}");
+    }
+    s
+}
+
+/// Emit a Pegasus-jobstate.log-style trace: one line per lifecycle event,
+/// sorted by time. Useful for feeding external workflow analysis tools.
+pub fn jobstate_log(stats: &RunStats, wf: &Workflow) -> String {
+    let mut events: Vec<(u64, String)> = Vec::with_capacity(stats.records.len() * 3);
+    for (i, r) in stats.records.iter().enumerate() {
+        let name = &wf.tasks()[i].name;
+        let node = r.node.0;
+        events.push((
+            r.start_at.as_nanos(),
+            format!("{:.3} {name} SUBMIT node_{node}", r.start_at.as_secs_f64()),
+        ));
+        events.push((
+            r.compute_start.as_nanos(),
+            format!("{:.3} {name} EXECUTE node_{node}", r.compute_start.as_secs_f64()),
+        ));
+        events.push((
+            r.end_at.as_nanos(),
+            format!(
+                "{:.3} {name} JOB_TERMINATED node_{node} attempts={}",
+                r.end_at.as_secs_f64(),
+                r.attempts
+            ),
+        ));
+    }
+    events.sort();
+    let mut s = String::with_capacity(events.len() * 48);
+    for (_, line) in events {
+        s.push_str(&line);
+        s.push('\n');
+    }
+    s
+}
+
+/// A per-node occupancy Gantt chart: each node row shows how many slots
+/// were busy over time (digits 0–9, `*` for ≥10), over `width` buckets.
+pub fn render_gantt(stats: &RunStats, workers: u32, width: usize) -> String {
+    let mut s = String::new();
+    let span = stats.makespan_secs.max(1e-9);
+    let _ = writeln!(
+        s,
+        "NODE OCCUPANCY — busy slots over time ({width} buckets of {:.1}s)",
+        span / width as f64
+    );
+    for w in 0..workers {
+        let mut busy = vec![0u32; width];
+        for r in &stats.records {
+            if r.node.0 != w {
+                continue;
+            }
+            let a = (r.start_at.as_secs_f64() / span * width as f64) as usize;
+            let b = (r.end_at.as_secs_f64() / span * width as f64).ceil() as usize;
+            for bucket in busy.iter_mut().take(b.min(width)).skip(a.min(width - 1)) {
+                *bucket += 1;
+            }
+        }
+        let row: String = busy
+            .iter()
+            .map(|&n| match n {
+                0 => '.',
+                1..=9 => char::from_digit(n, 10).unwrap(),
+                _ => '*',
+            })
+            .collect();
+        let _ = writeln!(s, "  node_{w:<3} |{row}|");
+    }
+    s
+}
+
+/// The busiest resources of a run, by mean utilization — the first place
+/// to look when asking "what limited this configuration?".
+pub fn hottest_resources(stats: &RunStats, top: usize) -> String {
+    let mut rows: Vec<_> = stats.resources.iter().collect();
+    rows.sort_by(|a, b| b.mean_utilization.total_cmp(&a.mean_utilization));
+    let mut s = String::new();
+    let _ = writeln!(s, "HOTTEST RESOURCES — mean utilization over the makespan");
+    for r in rows.into_iter().take(top) {
+        let bar = "#".repeat((r.mean_utilization * 40.0).round() as usize);
+        let _ = writeln!(
+            s,
+            "  {:<14} {:>5.1}% busy {:>8.1}s |{bar}",
+            r.name,
+            r.mean_utilization * 100.0,
+            r.busy_secs
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_workflow, RunConfig};
+    use wfdag::WorkflowBuilder;
+    use wfstorage::StorageKind;
+
+    fn run() -> (RunStats, Workflow) {
+        let mut b = WorkflowBuilder::new("trace");
+        let f1 = b.file("a", 50_000_000);
+        let f2 = b.file("b", 20_000_000);
+        b.task("t0", "gen", 3.0, 256 << 20, vec![], vec![f1]);
+        b.task("t1", "use", 5.0, 256 << 20, vec![f1], vec![f2]);
+        let wf = b.build().unwrap();
+        let stats = run_workflow(wf.clone(), RunConfig::cell(StorageKind::S3, 2)).unwrap();
+        (stats, wf)
+    }
+
+    #[test]
+    fn phases_partition_the_slot_time() {
+        let (stats, _) = run();
+        let p = phase_breakdown(&stats);
+        let slot_time: f64 = stats
+            .records
+            .iter()
+            .map(|r| r.end_at.since(r.start_at).as_secs_f64())
+            .sum();
+        assert!((p.total() - slot_time).abs() < 1e-6, "{} vs {slot_time}", p.total());
+        assert!(p.compute >= 8.0 - 1e-6);
+        assert!(p.stage_in > 0.0, "S3 runs must stage in");
+        assert!((0.0..=1.0).contains(&p.io_fraction()));
+    }
+
+    #[test]
+    fn jobstate_log_is_ordered_and_complete() {
+        let (stats, wf) = run();
+        let log = jobstate_log(&stats, &wf);
+        let lines: Vec<&str> = log.lines().collect();
+        assert_eq!(lines.len(), 2 * 3);
+        assert!(lines[0].contains("SUBMIT"));
+        assert!(lines.last().unwrap().contains("JOB_TERMINATED"));
+        let times: Vec<f64> = lines
+            .iter()
+            .map(|l| l.split_whitespace().next().unwrap().parse().unwrap())
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn gantt_renders_one_row_per_node() {
+        let (stats, _) = run();
+        let g = render_gantt(&stats, 2, 40);
+        assert_eq!(g.lines().count(), 3, "{g}");
+        assert!(g.contains("node_0"));
+        assert!(g.contains('1'), "some bucket must show one busy slot: {g}");
+    }
+
+    #[test]
+    fn hottest_resources_lists_top() {
+        let (stats, _) = run();
+        let h = hottest_resources(&stats, 3);
+        assert_eq!(h.lines().count(), 4);
+    }
+
+    #[test]
+    fn render_phases_shows_percentages() {
+        let (stats, _) = run();
+        let out = render_phases(&phase_breakdown(&stats));
+        assert!(out.contains("compute"));
+        assert!(out.contains('%'));
+    }
+}

@@ -1,0 +1,253 @@
+//! The simulation world: cluster + storage + workflow-management state.
+
+use crate::config::{RunConfig, SchedulerPolicy};
+use simcore::{DetRng, SimTime};
+use std::collections::VecDeque;
+use vcluster::{Cluster, NodeId};
+use wfdag::{FileClass, TaskId, Workflow};
+use wfstorage::op::{Note, Stage};
+use wfstorage::{FileRef, StorageSystem};
+
+/// Scheduling state of one worker node.
+#[derive(Debug, Clone)]
+pub struct NodeSched {
+    /// Free Condor slots (one per core).
+    pub free_slots: u32,
+    /// Free memory in bytes.
+    pub free_mem: u64,
+}
+
+/// Timing record of one executed task (of its final, successful attempt;
+/// earlier failed attempts only contribute to `attempts`).
+#[derive(Debug, Clone, Copy)]
+pub struct TaskRecord {
+    /// Node the task ran on.
+    pub node: NodeId,
+    /// When all dependencies were satisfied.
+    pub ready_at: SimTime,
+    /// When the slot was acquired.
+    pub start_at: SimTime,
+    /// When the WMS overhead finished and the operation storm began.
+    pub ops_start: SimTime,
+    /// When stage-in began (= end of the operation storm).
+    pub stage_in_start: SimTime,
+    /// When input reads began (= end of stage-in).
+    pub reads_start: SimTime,
+    /// When the compute phase began (= end of reads).
+    pub compute_start: SimTime,
+    /// When the compute phase ended (writes follow).
+    pub compute_end: SimTime,
+    /// When output writes finished and stage-out began.
+    pub stage_out_start: SimTime,
+    /// When the task released its slot.
+    pub end_at: SimTime,
+    /// Number of executions (1 = no retries).
+    pub attempts: u32,
+}
+
+impl TaskRecord {
+    /// Wall time spent in I/O phases (stage-in, reads, writes, stage-out,
+    /// plus workflow-management overhead before the compute phase).
+    pub fn io_secs(&self) -> f64 {
+        (self.compute_start.since(self.start_at) + self.end_at.since(self.compute_end)).as_secs_f64()
+    }
+
+    /// Wall time of the compute phase.
+    pub fn cpu_secs(&self) -> f64 {
+        self.compute_end.since(self.compute_start).as_secs_f64()
+    }
+
+    /// WMS dispatch overhead (DAGMan/Condor).
+    pub fn overhead_secs(&self) -> f64 {
+        self.ops_start.since(self.start_at).as_secs_f64()
+    }
+
+    /// POSIX operation storm (only charged by NFS-like systems).
+    pub fn ops_secs(&self) -> f64 {
+        self.stage_in_start.since(self.ops_start).as_secs_f64()
+    }
+
+    /// Stage-in (S3 GETs, direct-transfer pulls).
+    pub fn stage_in_secs(&self) -> f64 {
+        self.reads_start.since(self.stage_in_start).as_secs_f64()
+    }
+
+    /// Input reads through the storage system.
+    pub fn read_secs(&self) -> f64 {
+        self.compute_start.since(self.reads_start).as_secs_f64()
+    }
+
+    /// Output writes through the storage system.
+    pub fn write_secs(&self) -> f64 {
+        self.stage_out_start.since(self.compute_end).as_secs_f64()
+    }
+
+    /// Stage-out (S3 PUTs).
+    pub fn stage_out_secs(&self) -> f64 {
+        self.end_at.since(self.stage_out_start).as_secs_f64()
+    }
+}
+
+/// The world threaded through every simulation event.
+pub struct World {
+    /// The provisioned virtual cluster.
+    pub cluster: Cluster,
+    /// The data-sharing option under test.
+    pub storage: Box<dyn StorageSystem>,
+    /// The workflow being executed.
+    pub wf: Workflow,
+    /// The run configuration.
+    pub cfg: RunConfig,
+
+    /// Remaining unfinished parents per task.
+    pub pending_parents: Vec<u32>,
+    /// Ready-but-unscheduled tasks (FIFO with a bounded backfill window).
+    pub ready: VecDeque<TaskId>,
+    /// Per-worker scheduling state (indexed like `cluster.workers()`).
+    pub node_sched: Vec<NodeSched>,
+    /// Per-task execution records.
+    pub records: Vec<Option<TaskRecord>>,
+    /// Completed task count.
+    pub done: usize,
+    /// Task re-executions after injected failures.
+    pub retries: u64,
+    /// Set when a task exhausted its retries; the run aborts.
+    pub aborted: Option<TaskId>,
+    /// Time the last task completed.
+    pub finished_at: Option<SimTime>,
+
+    /// Serialised background I/O (e.g. NFS write-back flushes — one
+    /// writeback stream, like the kernel's flusher thread).
+    pub bg_queue: VecDeque<(Stage, Option<Note>)>,
+    /// Whether a background stage is in flight.
+    pub bg_active: bool,
+
+    /// Rotating cursor for locality-blind node selection.
+    pub rr_cursor: usize,
+    /// Randomness for tie-breaking.
+    pub rng: DetRng,
+}
+
+impl World {
+    /// Assemble a world over a provisioned cluster and storage system.
+    pub fn new(wf: Workflow, cluster: Cluster, storage: Box<dyn StorageSystem>, cfg: RunConfig) -> Self {
+        let n = wf.task_count();
+        let pending_parents = (0..n).map(|i| wf.parent_count(TaskId(i as u32))).collect();
+        let node_sched = cluster
+            .workers()
+            .iter()
+            .map(|&id| {
+                let node = cluster.node(id);
+                NodeSched {
+                    free_slots: node.slots(),
+                    // Reserve a slice of RAM for OS + page cache.
+                    free_mem: (node.memory_bytes() as f64 * 0.9) as u64,
+                }
+            })
+            .collect();
+        let rng = DetRng::stream(cfg.seed, "engine.schedule");
+        World {
+            cluster,
+            storage,
+            wf,
+            cfg,
+            pending_parents,
+            ready: VecDeque::new(),
+            node_sched,
+            records: vec![None; n],
+            done: 0,
+            retries: 0,
+            aborted: None,
+            finished_at: None,
+            bg_queue: VecDeque::new(),
+            bg_active: false,
+            rr_cursor: 0,
+            rng,
+        }
+    }
+
+    /// Input `FileRef`s of a task.
+    pub fn task_inputs(&self, t: TaskId) -> Vec<FileRef> {
+        self.wf
+            .task(t)
+            .inputs
+            .iter()
+            .map(|&f| (f, self.wf.file(f).size))
+            .collect()
+    }
+
+    /// Output `FileRef`s of a task.
+    pub fn task_outputs(&self, t: TaskId) -> Vec<FileRef> {
+        self.wf
+            .task(t)
+            .outputs
+            .iter()
+            .map(|&f| (f, self.wf.file(f).size))
+            .collect()
+    }
+
+    /// Workflow input files (pre-staged before the run, §III.C).
+    pub fn workflow_inputs(&self) -> Vec<FileRef> {
+        self.wf
+            .files()
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.class == FileClass::Input)
+            .map(|(i, f)| (wfdag::FileId(i as u32), f.size))
+            .collect()
+    }
+
+    /// Pick a worker for `task` under the configured policy, or `None` if
+    /// nothing fits right now.
+    pub fn pick_node(&mut self, task: TaskId) -> Option<usize> {
+        let need_mem = self.wf.task(task).peak_mem;
+        let n = self.node_sched.len();
+        let fits = |s: &NodeSched| s.free_slots > 0 && s.free_mem >= need_mem;
+        match self.cfg.scheduler {
+            SchedulerPolicy::LocalityBlind => {
+                // Rotating first-fit: spreads load without looking at data.
+                for off in 0..n {
+                    let i = (self.rr_cursor + off) % n;
+                    if fits(&self.node_sched[i]) {
+                        self.rr_cursor = (i + 1) % n;
+                        return Some(i);
+                    }
+                }
+                None
+            }
+            SchedulerPolicy::DataAware => {
+                let inputs = self.task_inputs(task);
+                let mut best: Option<(u64, usize)> = None;
+                for i in 0..n {
+                    if !fits(&self.node_sched[i]) {
+                        continue;
+                    }
+                    let node_id = self.cluster.workers()[i];
+                    let local = self.storage.local_bytes(&self.cluster, node_id, &inputs);
+                    // Ties broken by index for determinism.
+                    if best.is_none_or(|(b, _)| local > b) {
+                        best = Some((local, i));
+                    }
+                }
+                best.map(|(_, i)| i)
+            }
+        }
+    }
+
+    /// Reserve a slot + memory on worker index `i` for `task`.
+    pub fn reserve(&mut self, i: usize, task: TaskId) {
+        let need = self.wf.task(task).peak_mem;
+        let s = &mut self.node_sched[i];
+        debug_assert!(s.free_slots > 0 && s.free_mem >= need);
+        s.free_slots -= 1;
+        s.free_mem -= need;
+    }
+
+    /// Release the slot + memory held by `task` on worker index `i`.
+    pub fn release(&mut self, i: usize, task: TaskId) {
+        let need = self.wf.task(task).peak_mem;
+        let s = &mut self.node_sched[i];
+        s.free_slots += 1;
+        s.free_mem += need;
+    }
+}

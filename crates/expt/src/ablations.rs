@@ -1,0 +1,218 @@
+//! Ablations A1–A5: quantifying the design choices DESIGN.md calls out.
+//!
+//! * **A1** — the first-write penalty (§III.C): what zero-filling the
+//!   ephemeral disks would buy (the paper argues it is uneconomical).
+//! * **A2** — the S3 client cache (§IV.A): the authors' whole-file cache
+//!   against a cache-less S3 client.
+//! * **A3** — the data-aware scheduler the paper suggests as future work
+//!   (§IV.A): placement by cached input bytes vs the locality-blind
+//!   Condor matchmaker.
+//! * **A4** — NFS server placement (§VI): a dedicated `m1.xlarge` vs
+//!   overloading a compute node.
+//! * **A5** — PVFS small-file optimizations (§IV.D): the 2.6.3 release
+//!   the paper had to use vs a model of the ≥2.8 improvements.
+
+use crate::grid::{run_cell_with, CellResult};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use wfengine::{RunConfig, SchedulerPolicy};
+use wfgen::App;
+use wfstorage::{NfsConfig, NfsPlacement, PvfsConfig, S3Config, StorageConfigs, StorageKind};
+
+/// A baseline/variant pair for one ablated design choice.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Stable identifier (`a1.montage-local` …).
+    pub id: String,
+    /// What is being ablated.
+    pub description: String,
+    /// Baseline result (the paper's configuration).
+    pub baseline: CellResult,
+    /// Variant result (the ablated configuration).
+    pub variant: CellResult,
+}
+
+impl AblationRow {
+    /// variant / baseline makespan ratio (<1 means the variant is
+    /// faster).
+    pub fn speed_ratio(&self) -> f64 {
+        self.variant.makespan_secs / self.baseline.makespan_secs
+    }
+}
+
+/// All ablation results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ablations {
+    /// One row per ablated choice.
+    pub rows: Vec<AblationRow>,
+}
+
+fn pair(
+    id: &str,
+    description: &str,
+    app: App,
+    base: RunConfig,
+    variant: RunConfig,
+) -> AblationRow {
+    let (b, v) = rayon::join(
+        || run_cell_with(app, base).expect("baseline"),
+        || run_cell_with(app, variant).expect("variant"),
+    );
+    AblationRow {
+        id: id.to_string(),
+        description: description.to_string(),
+        baseline: b,
+        variant: v,
+    }
+}
+
+/// Run every ablation (A1–A5).
+pub fn run(seed: u64) -> Ablations {
+    let jobs: Vec<Box<dyn Fn() -> AblationRow + Send + Sync>> = vec![
+        // A1: first-write penalty, the single-node local case of Montage.
+        Box::new(move || {
+            let base = RunConfig::cell(StorageKind::Local, 1).with_seed(seed);
+            let mut v = base.clone();
+            v.initialize_disks = true;
+            pair(
+                "a1.montage-local-init",
+                "Montage Local@1: zero-filled (initialized) ephemeral disks vs stock",
+                App::Montage,
+                base,
+                v,
+            )
+        }),
+        // A1b: the same question on a GlusterFS cluster.
+        Box::new(move || {
+            let base = RunConfig::cell(StorageKind::GlusterNufa, 4).with_seed(seed);
+            let mut v = base.clone();
+            v.initialize_disks = true;
+            pair(
+                "a1.montage-gluster-init",
+                "Montage GlusterFS(NUFA)@4: initialized disks vs stock",
+                App::Montage,
+                base,
+                v,
+            )
+        }),
+        // A2: S3 client cache for the reuse-heavy application.
+        Box::new(move || {
+            let base = RunConfig::cell(StorageKind::S3, 4).with_seed(seed);
+            let mut v = base.clone();
+            v.storage_cfgs = StorageConfigs {
+                s3: Some(S3Config {
+                    client_cache: false,
+                    ..S3Config::default()
+                }),
+                ..StorageConfigs::default()
+            };
+            pair(
+                "a2.broadband-s3-cache",
+                "Broadband S3@4: whole-file client cache vs cache-less client",
+                App::Broadband,
+                base,
+                v,
+            )
+        }),
+        // A2b: the cache matters less when there is little reuse (§V.A).
+        Box::new(move || {
+            let base = RunConfig::cell(StorageKind::S3, 2).with_seed(seed);
+            let mut v = base.clone();
+            v.storage_cfgs = StorageConfigs {
+                s3: Some(S3Config {
+                    client_cache: false,
+                    ..S3Config::default()
+                }),
+                ..StorageConfigs::default()
+            };
+            pair(
+                "a2.montage-s3-cache",
+                "Montage S3@2: client cache vs cache-less (little reuse, small effect)",
+                App::Montage,
+                base,
+                v,
+            )
+        }),
+        // A3: data-aware scheduling (the paper's suggested improvement).
+        Box::new(move || {
+            let base = RunConfig::cell(StorageKind::S3, 4).with_seed(seed);
+            let mut v = base.clone();
+            v.scheduler = SchedulerPolicy::DataAware;
+            pair(
+                "a3.broadband-s3-dataaware",
+                "Broadband S3@4: locality-blind Condor matchmaking vs data-aware placement",
+                App::Broadband,
+                base,
+                v,
+            )
+        }),
+        Box::new(move || {
+            let base = RunConfig::cell(StorageKind::GlusterNufa, 4).with_seed(seed);
+            let mut v = base.clone();
+            v.scheduler = SchedulerPolicy::DataAware;
+            pair(
+                "a3.broadband-gluster-dataaware",
+                "Broadband GlusterFS(NUFA)@4: locality-blind vs data-aware placement",
+                App::Broadband,
+                base,
+                v,
+            )
+        }),
+        // A4: dedicated NFS server vs overloading a worker.
+        Box::new(move || {
+            let base = RunConfig::cell(StorageKind::Nfs, 2).with_seed(seed);
+            let mut v = base.clone();
+            v.storage_cfgs = StorageConfigs {
+                nfs: Some(NfsConfig {
+                    placement: NfsPlacement::OnWorker,
+                    ..NfsConfig::default()
+                }),
+                ..StorageConfigs::default()
+            };
+            pair(
+                "a4.montage-nfs-onworker",
+                "Montage NFS@2: dedicated m1.xlarge server vs overloading a worker (§VI)",
+                App::Montage,
+                base,
+                v,
+            )
+        }),
+        // A5: the PVFS release the paper was stuck on.
+        Box::new(move || {
+            let base = RunConfig::cell(StorageKind::Pvfs, 4).with_seed(seed);
+            let mut v = base.clone();
+            v.storage_cfgs = StorageConfigs {
+                pvfs: Some(PvfsConfig::optimized()),
+                ..StorageConfigs::default()
+            };
+            pair(
+                "a5.montage-pvfs-28",
+                "Montage PVFS@4: 2.6.3 (no small-file optimizations) vs a ≥2.8 model",
+                App::Montage,
+                base,
+                v,
+            )
+        }),
+    ];
+    let rows: Vec<AblationRow> = jobs.par_iter().map(|j| j()).collect();
+    Ablations { rows }
+}
+
+/// Render the ablation table.
+pub fn render(a: &Ablations) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "ABLATIONS — design choices quantified");
+    for r in &a.rows {
+        let _ = writeln!(
+            s,
+            "  {:<32} baseline {:>8.0}s -> variant {:>8.0}s  ({:+.1}%)",
+            r.id,
+            r.baseline.makespan_secs,
+            r.variant.makespan_secs,
+            (r.speed_ratio() - 1.0) * 100.0
+        );
+        let _ = writeln!(s, "      {}", r.description);
+    }
+    s
+}

@@ -1,0 +1,239 @@
+//! `wfsim` — a command-line driver for the simulator, for users who want
+//! to poke at configurations without writing Rust.
+//!
+//! ```text
+//! wfsim run    --app montage --storage glusterfs-nufa --workers 4
+//!              [--tiny] [--seed N] [--data-aware] [--cluster K]
+//!              [--failures P --retries K] [--gantt] [--trace FILE]
+//! wfsim sweep  --app broadband [--tiny] [--seed N]
+//! wfsim profile --app epigenome
+//! wfsim export --app montage --tiny --out montage.json
+//! wfsim run    --dax montage.json --storage s3 --workers 2
+//! wfsim bottleneck --app broadband --storage nfs --workers 4
+//! ```
+
+use std::collections::HashMap;
+use wfdag::{cluster_horizontal, Workflow};
+use wfengine::{
+    jobstate_log, phase_breakdown, run_workflow, trace, FailureModel, RunConfig, SchedulerPolicy,
+};
+use wfgen::{classify, profile, App};
+use wfstorage::StorageKind;
+
+fn parse_storage(s: &str) -> StorageKind {
+    match s {
+        "local" => StorageKind::Local,
+        "nfs" => StorageKind::Nfs,
+        "glusterfs-nufa" | "nufa" => StorageKind::GlusterNufa,
+        "glusterfs-distribute" | "distribute" => StorageKind::GlusterDistribute,
+        "pvfs" => StorageKind::Pvfs,
+        "s3" => StorageKind::S3,
+        "xtreemfs" => StorageKind::XtreemFs,
+        "direct" | "direct-transfer" => StorageKind::DirectTransfer,
+        other => die(&format!("unknown storage {other:?}")),
+    }
+}
+
+fn parse_app(s: &str) -> App {
+    match s {
+        "montage" => App::Montage,
+        "broadband" => App::Broadband,
+        "epigenome" => App::Epigenome,
+        other => die(&format!("unknown app {other:?} (montage|broadband|epigenome)")),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("wfsim: {msg}");
+    eprintln!("try: wfsim run --app montage --storage glusterfs-nufa --workers 4 --tiny");
+    std::process::exit(2);
+}
+
+struct Args {
+    flags: Vec<String>,
+    opts: HashMap<String, String>,
+}
+
+fn parse_args(argv: &[String]) -> Args {
+    let mut flags = Vec::new();
+    let mut opts = HashMap::new();
+    let mut i = 0;
+    while i < argv.len() {
+        let a = &argv[i];
+        if let Some(key) = a.strip_prefix("--") {
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                opts.insert(key.to_string(), argv[i + 1].clone());
+                i += 2;
+            } else {
+                flags.push(key.to_string());
+                i += 1;
+            }
+        } else {
+            flags.push(a.clone());
+            i += 1;
+        }
+    }
+    Args { flags, opts }
+}
+
+fn load_workflow(args: &Args) -> Workflow {
+    if let Some(path) = args.opts.get("dax") {
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        return wfdag::from_json(&json).unwrap_or_else(|e| die(&format!("bad workflow: {e}")));
+    }
+    let app = parse_app(args.opts.get("app").unwrap_or_else(|| die("--app or --dax required")));
+    let mut wf = if args.flags.iter().any(|f| f == "tiny") {
+        app.tiny_workflow()
+    } else {
+        app.paper_workflow()
+    };
+    if let Some(k) = args.opts.get("cluster") {
+        let k: u32 = k.parse().unwrap_or_else(|_| die("--cluster must be a number"));
+        wf = cluster_horizontal(&wf, k);
+    }
+    wf
+}
+
+fn build_config(args: &Args) -> RunConfig {
+    let storage = parse_storage(args.opts.get("storage").map_or("glusterfs-nufa", |s| s));
+    let workers: u32 = args
+        .opts
+        .get("workers")
+        .map_or(Ok(2), |w| w.parse())
+        .unwrap_or_else(|_| die("--workers must be a number"));
+    let mut cfg = RunConfig::cell(storage, workers);
+    if let Some(seed) = args.opts.get("seed") {
+        cfg.seed = seed.parse().unwrap_or_else(|_| die("--seed must be a number"));
+    }
+    if args.flags.iter().any(|f| f == "data-aware") {
+        cfg.scheduler = SchedulerPolicy::DataAware;
+    }
+    if args.flags.iter().any(|f| f == "init-disks") {
+        cfg.initialize_disks = true;
+    }
+    if let Some(p) = args.opts.get("failures") {
+        let prob: f64 = p.parse().unwrap_or_else(|_| die("--failures must be a probability"));
+        let max_retries: u32 = args
+            .opts
+            .get("retries")
+            .map_or(Ok(3), |r| r.parse())
+            .unwrap_or_else(|_| die("--retries must be a number"));
+        cfg.failures = Some(FailureModel { prob, max_retries });
+    }
+    cfg
+}
+
+fn cmd_run(args: &Args) {
+    let wf = load_workflow(args);
+    let cfg = build_config(args);
+    let workers = cfg.workers;
+    println!(
+        "running {} ({} tasks) on {} with {} worker(s)…",
+        wf.name,
+        wf.task_count(),
+        cfg.storage.label(),
+        workers
+    );
+    let wf_for_log = wf.clone();
+    match run_workflow(wf, cfg) {
+        Ok(stats) => {
+            println!(
+                "makespan {:.1}s  events {}  retries {}  io-fraction {:.1}%",
+                stats.makespan_secs,
+                stats.events,
+                stats.retries,
+                stats.io_fraction() * 100.0
+            );
+            print!("{}", trace::render_phases(&phase_breakdown(&stats)));
+            print!("{}", trace::hottest_resources(&stats, 6));
+            if args.flags.iter().any(|f| f == "gantt") {
+                print!("{}", trace::render_gantt(&stats, workers, 72));
+            }
+            if let Some(path) = args.opts.get("trace") {
+                std::fs::write(path, jobstate_log(&stats, &wf_for_log))
+                    .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+                println!("jobstate trace written to {path}");
+            }
+        }
+        Err(e) => die(&format!("run failed: {e}")),
+    }
+}
+
+fn cmd_sweep(args: &Args) {
+    let app = parse_app(args.opts.get("app").unwrap_or_else(|| die("--app required")));
+    let seed = args
+        .opts
+        .get("seed")
+        .map_or(Ok(42), |s| s.parse())
+        .unwrap_or_else(|_| die("--seed must be a number"));
+    if args.flags.iter().any(|f| f == "tiny") {
+        println!("{:<24} {:>6} {:>10}", "storage", "nodes", "makespan");
+        for storage in StorageKind::EVALUATED {
+            for n in [1u32, 2, 4, 8] {
+                if !expt::Cell::new(app, storage, n).is_valid() {
+                    continue;
+                }
+                let stats = run_workflow(app.tiny_workflow(), RunConfig::cell(storage, n).with_seed(seed))
+                    .unwrap_or_else(|e| die(&format!("{storage:?}@{n}: {e}")));
+                println!("{:<24} {:>6} {:>9.1}s", storage.label(), n, stats.makespan_secs);
+            }
+        }
+        return;
+    }
+    let fig = expt::runtime_figure(app, seed);
+    let number = match app {
+        App::Montage => 2,
+        App::Epigenome => 3,
+        App::Broadband => 4,
+    };
+    print!("{}", expt::render::runtime_figure(&fig, number));
+    print!("{}", expt::analysis::render_speedup(app, &expt::analysis::speedup_table(&fig)));
+}
+
+fn cmd_profile(args: &Args) {
+    let app = parse_app(args.opts.get("app").unwrap_or_else(|| die("--app required")));
+    let p = profile(&app.paper_workflow());
+    let u = classify(&p);
+    println!("{app}:");
+    println!("  io bytes            {:>14}", p.io_bytes);
+    println!("  cpu seconds         {:>14.0}", p.cpu_secs);
+    println!("  bytes / cpu-second  {:>14.0}", p.io_bytes_per_cpu_sec);
+    println!("  cpu-time fraction   {:>14.2}", p.cpu_time_fraction);
+    println!("  cpu share >1 GiB    {:>14.2}", p.cpu_frac_over_1gib);
+    println!("  grades              io={} memory={} cpu={}", u.io, u.memory, u.cpu);
+}
+
+fn cmd_export(args: &Args) {
+    let wf = load_workflow(args);
+    let out = args.opts.get("out").unwrap_or_else(|| die("--out required"));
+    std::fs::write(out, wfdag::to_json(&wf)).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    println!("{} tasks / {} files written to {out}", wf.task_count(), wf.file_count());
+}
+
+fn cmd_bottleneck(args: &Args) {
+    let app = parse_app(args.opts.get("app").unwrap_or_else(|| die("--app required")));
+    let storage = parse_storage(args.opts.get("storage").map_or("nfs", |s| s));
+    let workers: u32 = args
+        .opts
+        .get("workers")
+        .map_or(Ok(4), |w| w.parse())
+        .unwrap_or_else(|_| die("--workers must be a number"));
+    print!("{}", expt::analysis::bottleneck_report(app, storage, workers, 42));
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().cloned() else {
+        die("missing subcommand (run|sweep|profile|export|bottleneck)");
+    };
+    let args = parse_args(&argv[1..]);
+    match cmd.as_str() {
+        "run" => cmd_run(&args),
+        "sweep" => cmd_sweep(&args),
+        "profile" => cmd_profile(&args),
+        "export" => cmd_export(&args),
+        "bottleneck" => cmd_bottleneck(&args),
+        other => die(&format!("unknown subcommand {other:?}")),
+    }
+}

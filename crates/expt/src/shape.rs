@@ -1,0 +1,383 @@
+//! Qualitative shape checks: the textual claims of §V–§VI, verified
+//! against the regenerated figures.
+//!
+//! The reproduction target is the *shape* of every figure — who wins, by
+//! roughly what factor, where the crossovers fall — not the absolute
+//! numbers of the authors' 2010 testbed. Each check cites the claim it
+//! encodes. Two checks are deliberately lenient where our physically
+//! symmetric model disagrees with the paper's hedged single-node
+//! observations (see EXPERIMENTS.md, "Known deviations").
+
+use crate::figures::{RuntimeFigure, Table1, XtreemFsNote};
+use serde::{Deserialize, Serialize};
+use wfgen::{App, Grade};
+use wfstorage::StorageKind;
+
+/// One verified claim.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShapeCheck {
+    /// Stable identifier, e.g. `fig2.gluster-best`.
+    pub id: String,
+    /// The paper claim being encoded.
+    pub claim: String,
+    /// Did the regenerated data satisfy it?
+    pub passed: bool,
+    /// Measured values backing the verdict.
+    pub detail: String,
+}
+
+fn check(id: &str, claim: &str, passed: bool, detail: String) -> ShapeCheck {
+    ShapeCheck {
+        id: id.to_string(),
+        claim: claim.to_string(),
+        passed,
+        detail,
+    }
+}
+
+const GLUSTERS: [StorageKind; 2] = [StorageKind::GlusterNufa, StorageKind::GlusterDistribute];
+
+/// Checks over Fig 2 (Montage runtimes).
+pub fn check_fig2(fig: &RuntimeFigure) -> Vec<ShapeCheck> {
+    assert_eq!(fig.app, App::Montage);
+    let mut out = Vec::new();
+
+    // §V.A: "GlusterFS ... both the NUFA and distribute modes producing
+    // significantly better performance than the other storage systems."
+    let mut best_ok = true;
+    let mut detail = String::new();
+    for n in [2u32, 4, 8] {
+        let g = GLUSTERS
+            .iter()
+            .filter_map(|s| fig.makespan(*s, n))
+            .fold(f64::INFINITY, f64::min);
+        let rest = [StorageKind::S3, StorageKind::Nfs, StorageKind::Pvfs]
+            .iter()
+            .filter_map(|s| fig.makespan(*s, n))
+            .fold(f64::INFINITY, f64::min);
+        best_ok &= g < rest;
+        detail.push_str(&format!("n={n}: gluster {g:.0}s vs others' best {rest:.0}s; "));
+    }
+    out.push(check("fig2.gluster-best", "GlusterFS (both modes) beats every other system for Montage", best_ok, detail));
+
+    // §V.A: "NFS does relatively well for Montage, beating even the local
+    // disk in the single node case." Our symmetric page-cache model puts
+    // them within a few percent with local slightly ahead — checked as a
+    // near-tie (documented deviation D1).
+    let nfs1 = fig.makespan(StorageKind::Nfs, 1).unwrap_or(f64::NAN);
+    let local1 = fig.makespan(StorageKind::Local, 1).unwrap_or(f64::NAN);
+    out.push(check(
+        "fig2.nfs-vs-local-1node",
+        "NFS is competitive with the local disk on one node (paper: slightly faster; ours: near-tie, deviation D1)",
+        nfs1 <= local1 * 1.10,
+        format!("NFS@1 {nfs1:.0}s vs Local@1 {local1:.0}s"),
+    ));
+
+    // §V.A: "The relatively poor performance of S3 and PVFS may be a
+    // result of Montage accessing a large number of small files."
+    let mut sp_ok = true;
+    let mut detail = String::new();
+    for n in [2u32, 4, 8] {
+        let g = GLUSTERS.iter().filter_map(|s| fig.makespan(*s, n)).fold(f64::INFINITY, f64::min);
+        for s in [StorageKind::S3, StorageKind::Pvfs] {
+            let v = fig.makespan(s, n).unwrap_or(f64::NAN);
+            sp_ok &= v > g * 1.3;
+            detail.push_str(&format!("{s:?}@{n} {v:.0}s vs gluster {g:.0}s; "));
+        }
+    }
+    out.push(check("fig2.s3-pvfs-poor", "S3 and PVFS are clearly worse than GlusterFS for Montage (many small files)", sp_ok, detail));
+    out
+}
+
+/// Checks over Fig 3 (Epigenome runtimes).
+pub fn check_fig3(fig: &RuntimeFigure) -> Vec<ShapeCheck> {
+    assert_eq!(fig.app, App::Epigenome);
+    let mut out = Vec::new();
+
+    // §V.B: "the performance was almost the same for all storage systems."
+    let mut spread_ok = true;
+    let mut detail = String::new();
+    for n in [2u32, 4, 8] {
+        let vals: Vec<f64> = StorageKind::EVALUATED
+            .iter()
+            .filter_map(|s| fig.makespan(*s, n))
+            .collect();
+        let (lo, hi) = (
+            vals.iter().copied().fold(f64::INFINITY, f64::min),
+            vals.iter().copied().fold(0.0f64, f64::max),
+        );
+        spread_ok &= hi <= lo * 1.25;
+        detail.push_str(&format!("n={n}: {lo:.0}-{hi:.0}s; "));
+    }
+    out.push(check("fig3.insensitive", "Epigenome is nearly insensitive to the storage choice", spread_ok, detail));
+
+    // §V.B: "for Epigenome the local disk was significantly faster" (at
+    // one node). Our model lands local within 2 % of the best single-node
+    // system (deviation D2).
+    let local1 = fig.makespan(StorageKind::Local, 1).unwrap_or(f64::NAN);
+    let best1 = [StorageKind::S3, StorageKind::Nfs]
+        .iter()
+        .filter_map(|s| fig.makespan(*s, 1))
+        .fold(f64::INFINITY, f64::min);
+    out.push(check(
+        "fig3.local-fastest-1node",
+        "Local disk is at worst within 2% of the best system on one node (paper: clearly fastest; deviation D2)",
+        local1 <= best1 * 1.02,
+        format!("Local@1 {local1:.0}s vs best remote {best1:.0}s"),
+    ));
+
+    // §V.B: "S3 and PVFS performing slightly worse than NFS and GlusterFS".
+    let mut s3_ok = true;
+    let mut detail = String::new();
+    for n in [2u32, 4] {
+        let s3 = fig.makespan(StorageKind::S3, n).unwrap_or(f64::NAN);
+        let g = GLUSTERS.iter().filter_map(|s| fig.makespan(*s, n)).fold(f64::INFINITY, f64::min);
+        s3_ok &= s3 >= g * 0.98;
+        detail.push_str(&format!("n={n}: S3 {s3:.0}s vs gluster {g:.0}s; "));
+    }
+    out.push(check("fig3.s3-slightly-worse", "S3 is no faster than GlusterFS for Epigenome", s3_ok, detail));
+    out
+}
+
+/// Checks over Fig 4 (Broadband runtimes).
+pub fn check_fig4(fig: &RuntimeFigure) -> Vec<ShapeCheck> {
+    assert_eq!(fig.app, App::Broadband);
+    let mut out = Vec::new();
+
+    // §V.C: "the best overall performance for Broadband was achieved
+    // using Amazon S3".
+    let mut s3_ok = true;
+    let mut detail = String::new();
+    for n in [2u32, 4, 8] {
+        let s3 = fig.makespan(StorageKind::S3, n).unwrap_or(f64::NAN);
+        let rest = [
+            StorageKind::Nfs,
+            StorageKind::GlusterNufa,
+            StorageKind::GlusterDistribute,
+            StorageKind::Pvfs,
+        ]
+        .iter()
+        .filter_map(|s| fig.makespan(*s, n))
+        .fold(f64::INFINITY, f64::min);
+        s3_ok &= s3 <= rest;
+        detail.push_str(&format!("n={n}: S3 {s3:.0}s vs others' best {rest:.0}s; "));
+    }
+    out.push(check("fig4.s3-best", "S3 gives the best Broadband performance (input reuse + client cache)", s3_ok, detail));
+
+    // §V.C: "GlusterFS (NUFA) results in better performance than
+    // GlusterFS (distribute)" for the mini-pipeline transformations.
+    let mut nufa_ok = true;
+    let mut detail = String::new();
+    for n in [2u32, 4, 8] {
+        let nufa = fig.makespan(StorageKind::GlusterNufa, n).unwrap_or(f64::NAN);
+        let dist = fig.makespan(StorageKind::GlusterDistribute, n).unwrap_or(f64::NAN);
+        nufa_ok &= nufa <= dist * 1.01;
+        detail.push_str(&format!("n={n}: NUFA {nufa:.0}s vs distribute {dist:.0}s; "));
+    }
+    out.push(check("fig4.nufa-beats-distribute", "NUFA beats distribute for Broadband (pipeline locality)", nufa_ok, detail));
+
+    // §V.C: NFS at 4 nodes (5363 s) is far worse than GlusterFS and S3
+    // (<3000 s), and the 2→4 node step makes NFS *worse* in absolute
+    // terms.
+    let nfs2 = fig.makespan(StorageKind::Nfs, 2).unwrap_or(f64::NAN);
+    let nfs4 = fig.makespan(StorageKind::Nfs, 4).unwrap_or(f64::NAN);
+    let best4 = [StorageKind::S3, StorageKind::GlusterNufa]
+        .iter()
+        .filter_map(|s| fig.makespan(*s, 4))
+        .fold(f64::INFINITY, f64::min);
+    out.push(check(
+        "fig4.nfs-cliff",
+        "NFS collapses for Broadband at 4 nodes (paper: 5363s vs <3000s for GlusterFS/S3)",
+        nfs4 > best4 * 1.4,
+        format!("NFS@4 {nfs4:.0}s vs best {best4:.0}s"),
+    ));
+    out.push(check(
+        "fig4.nfs-2to4-regression",
+        "Adding nodes 2→4 makes NFS Broadband *slower* in absolute terms (§V.C)",
+        nfs4 >= nfs2,
+        format!("NFS@2 {nfs2:.0}s → NFS@4 {nfs4:.0}s"),
+    ));
+
+    // §V.C: the m2.4xlarge server helps (paper 5363 → 4368 s) but stays
+    // significantly worse than GlusterFS and S3.
+    if let Some(m24) = &fig.nfs_m24 {
+        let v = m24.makespan_secs;
+        out.push(check(
+            "fig4.m24-partial-fix",
+            "A 64 GB m2.4xlarge NFS server improves the 4-node run but does not fix it",
+            v < nfs4 && v > best4 * 1.2,
+            format!("m1.xlarge {nfs4:.0}s → m2.4xlarge {v:.0}s vs best {best4:.0}s (paper: 5363 → 4368 vs <3000)"),
+        ));
+    }
+    out
+}
+
+/// Checks over Figs 5–7 (costs) given the three runtime figures.
+pub fn check_costs(figs: &[RuntimeFigure]) -> Vec<ShapeCheck> {
+    let mut out = Vec::new();
+    let by_app = |a: App| figs.iter().find(|f| f.app == a).expect("figure present");
+
+    // §VI: per-second charges are below per-hour charges everywhere.
+    let mut ps_ok = true;
+    let mut worst = 0.0f64;
+    for f in figs {
+        for c in &f.cells {
+            ps_ok &= c.cost_per_second_usd <= c.cost_per_hour_usd + 1e-9;
+            worst = worst.max(c.cost_per_second_usd / c.cost_per_hour_usd);
+        }
+    }
+    out.push(check(
+        "fig567.per-second-cheaper",
+        "Per-second billing never exceeds per-hour billing (§VI)",
+        ps_ok,
+        format!("max per-second/per-hour ratio {worst:.2}"),
+    ));
+
+    // §VI: "For Montage the lowest cost solution was GlusterFS on two
+    // nodes."
+    let m = by_app(App::Montage);
+    let cheapest = m
+        .cells
+        .iter()
+        .min_by(|a, b| a.cost_per_hour_usd.total_cmp(&b.cost_per_hour_usd))
+        .expect("cells");
+    let montage_ok = (GLUSTERS.contains(&cheapest.cell.storage) && cheapest.cell.workers == 2)
+        || cheapest.cell.storage == StorageKind::Local; // 1-node local ties at one billed hour
+    out.push(check(
+        "fig5.montage-cheapest",
+        "Montage's cheapest configuration is GlusterFS@2 (or the one-hour Local tie)",
+        montage_ok,
+        format!("cheapest: {:?}@{} ${:.2}", cheapest.cell.storage, cheapest.cell.workers, cheapest.cost_per_hour_usd),
+    ));
+
+    // §VI: "For Epigenome the lowest cost solution was a single node
+    // using the local disk."
+    let e = by_app(App::Epigenome);
+    let cheapest = e
+        .cells
+        .iter()
+        .min_by(|a, b| a.cost_per_hour_usd.total_cmp(&b.cost_per_hour_usd))
+        .expect("cells");
+    out.push(check(
+        "fig6.epigenome-cheapest",
+        "Epigenome's cheapest configuration is the single-node local disk",
+        cheapest.cell.storage == StorageKind::Local,
+        format!("cheapest: {:?}@{} ${:.2}", cheapest.cell.storage, cheapest.cell.workers, cheapest.cost_per_hour_usd),
+    ));
+
+    // §VI: "For Broadband the local disk, GlusterFS and S3 all tied for
+    // the lowest cost" — NFS is never cheapest.
+    let b = by_app(App::Broadband);
+    let cheapest = b
+        .cells
+        .iter()
+        .min_by(|a, b| a.cost_per_hour_usd.total_cmp(&b.cost_per_hour_usd))
+        .expect("cells");
+    out.push(check(
+        "fig7.broadband-cheapest",
+        "Broadband's cheapest configuration is local/GlusterFS/S3, never NFS",
+        cheapest.cell.storage != StorageKind::Nfs,
+        format!("cheapest: {:?}@{} ${:.2}", cheapest.cell.storage, cheapest.cell.workers, cheapest.cost_per_hour_usd),
+    ));
+
+    // §VI: "In all other cases the cost of the workflows only increased
+    // when resources were added" (the paper found exactly two exceptions,
+    // both NFS 1→2). Count our exceptions under per-hour billing.
+    let mut exceptions = Vec::new();
+    for f in figs {
+        for s in StorageKind::EVALUATED {
+            let mut prev: Option<(u32, f64)> = None;
+            for n in [1u32, 2, 4, 8] {
+                if let Some(c) = f.cell(s, n) {
+                    if let Some((pn, pc)) = prev {
+                        // Ignore sub-2-cent hour-rounding noise; the
+                        // paper's two exceptions were whole extra hours.
+                        if c.cost_per_hour_usd < pc - 0.02 {
+                            exceptions.push(format!("{:?}/{s:?} {pn}→{n}", f.app));
+                        }
+                    }
+                    prev = Some((n, c.cost_per_hour_usd));
+                }
+            }
+        }
+    }
+    out.push(check(
+        "fig567.cost-grows-with-nodes",
+        "Adding nodes (almost) never reduces cost; the paper saw only two NFS exceptions",
+        exceptions.len() <= 2,
+        format!("exceptions: {exceptions:?}"),
+    ));
+
+    // §VI: S3 request surcharges ≈ $0.28 (Montage), $0.01 (Epigenome),
+    // $0.02 (Broadband). Shape target: Montage ≫ Broadband ≥ Epigenome,
+    // all under a dollar.
+    let surcharge = |f: &RuntimeFigure| {
+        f.cells
+            .iter()
+            .filter(|c| c.cell.storage == StorageKind::S3)
+            .map(|c| {
+                let (gets, puts) = c.s3_requests;
+                puts as f64 / 1000.0 * 0.01 + gets as f64 / 10_000.0 * 0.01
+            })
+            .fold(0.0f64, f64::max)
+    };
+    let (sm, se, sb) = (surcharge(m), surcharge(e), surcharge(b));
+    out.push(check(
+        "fig567.s3-surcharge",
+        "S3 request fees: Montage ≈ $0.28 ≫ Broadband, Epigenome ≈ cents (§VI)",
+        (0.08..=0.60).contains(&sm) && se < 0.03 && sb < 0.08 && sm > sb && sm > se,
+        format!("Montage ${sm:.3}, Epigenome ${se:.3}, Broadband ${sb:.3}"),
+    ));
+    out
+}
+
+/// Checks over Table I.
+pub fn check_table1(t: &Table1) -> Vec<ShapeCheck> {
+    let want = [
+        (App::Montage, Grade::High, Grade::Low, Grade::Low),
+        (App::Broadband, Grade::Medium, Grade::High, Grade::Medium),
+        (App::Epigenome, Grade::Low, Grade::Medium, Grade::High),
+    ];
+    let mut ok = true;
+    let mut detail = String::new();
+    for (app, io, mem, cpu) in want {
+        let got = t.rows.iter().find(|(a, _)| *a == app).map(|(_, u)| *u);
+        let matches = got.is_some_and(|u| u.io == io && u.memory == mem && u.cpu == cpu);
+        ok &= matches;
+        detail.push_str(&format!("{app}: {got:?}; "));
+    }
+    vec![check("table1.grades", "Table I resource-usage grades match the paper exactly", ok, detail)]
+}
+
+/// Checks over the XtreemFS note.
+pub fn check_xtreemfs(x: &XtreemFsNote) -> Vec<ShapeCheck> {
+    let mut ok = true;
+    let mut detail = String::new();
+    for (app, xs, best) in &x.rows {
+        ok &= *xs > 2.0 * best;
+        detail.push_str(&format!("{app}: {xs:.0}s vs {best:.0}s ({:.1}x); ", xs / best));
+    }
+    vec![check(
+        "xtreemfs.2x",
+        "XtreemFS takes more than twice as long as the reported systems (§IV)",
+        ok,
+        detail,
+    )]
+}
+
+/// All checks over a full set of regenerated experiments.
+pub fn check_all(
+    figs: &[RuntimeFigure],
+    table: &Table1,
+    xtreemfs: &XtreemFsNote,
+) -> Vec<ShapeCheck> {
+    let by_app = |a: App| figs.iter().find(|f| f.app == a).expect("figure present");
+    let mut out = Vec::new();
+    out.extend(check_fig2(by_app(App::Montage)));
+    out.extend(check_fig3(by_app(App::Epigenome)));
+    out.extend(check_fig4(by_app(App::Broadband)));
+    out.extend(check_costs(figs));
+    out.extend(check_table1(table));
+    out.extend(check_xtreemfs(xtreemfs));
+    out
+}

@@ -1,0 +1,539 @@
+//! Fluid-flow model of shared I/O resources.
+//!
+//! Disks, NICs and servers are *resources* with a fixed capacity in bytes
+//! per second. An I/O operation is a *flow*: a number of bytes pushed across
+//! a path of resources, optionally subject to a per-flow rate cap (used to
+//! model e.g. the EC2 ephemeral-disk first-write penalty, or the per-stream
+//! throughput limit of an S3 connection).
+//!
+//! Active flows receive a **max–min fair share**: the progressive-filling
+//! algorithm raises every flow's rate together until a resource saturates
+//! (or a flow hits its cap), freezes the affected flows, and continues with
+//! the rest. Rates are recomputed whenever a flow starts, completes, or is
+//! cancelled. Between recomputations every flow progresses linearly, so the
+//! next completion time is exact.
+//!
+//! This is the classic flow-level network simulation used by SimGrid-style
+//! simulators; it captures contention crossovers (e.g. an NFS server NIC
+//! saturating as clients are added) without packet-level detail.
+
+use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Handle to a registered resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceId(pub(crate) u32);
+
+impl ResourceId {
+    /// Reconstruct a handle from a raw registration index (for iterating
+    /// `0..resource_count()`).
+    pub fn from_index(ix: usize) -> Self {
+        ResourceId(u32::try_from(ix).expect("resource index fits u32"))
+    }
+
+    /// The raw index of this resource in the registration order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Handle to an active flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub(crate) u64);
+
+/// Description of a flow to start.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// Number of bytes to move. A zero-byte flow completes instantly.
+    pub bytes: u64,
+    /// Resources the flow crosses; it gets the minimum share across them.
+    pub path: Vec<ResourceId>,
+    /// Optional per-flow cap in bytes/second (must be > 0 when present).
+    pub rate_cap: Option<f64>,
+}
+
+impl FlowSpec {
+    /// A flow of `bytes` across `path` with no per-flow cap.
+    pub fn new(bytes: u64, path: Vec<ResourceId>) -> Self {
+        FlowSpec {
+            bytes,
+            path,
+            rate_cap: None,
+        }
+    }
+
+    /// Apply a per-flow rate cap in bytes/second.
+    pub fn with_cap(mut self, cap: f64) -> Self {
+        self.rate_cap = Some(cap);
+        self
+    }
+
+    /// True when the flow cannot be simulated as a fluid flow (nothing
+    /// constrains it) and should be treated as instantaneous.
+    pub fn is_instant(&self) -> bool {
+        self.bytes == 0 || (self.path.is_empty() && self.rate_cap.is_none())
+    }
+}
+
+/// Accumulated per-resource statistics.
+#[derive(Debug, Clone, Default)]
+pub struct ResourceStats {
+    /// Total bytes that crossed the resource.
+    pub bytes: f64,
+    /// Simulated seconds during which at least one flow used the resource.
+    pub busy_secs: f64,
+    /// Integral of instantaneous utilisation over time (divide by the
+    /// observation window for mean utilisation).
+    pub util_integral: f64,
+}
+
+#[derive(Debug)]
+struct Resource {
+    name: String,
+    capacity: f64,
+    stats: ResourceStats,
+}
+
+struct ActiveFlow<C> {
+    remaining: f64,
+    path: Vec<ResourceId>,
+    cap: Option<f64>,
+    rate: f64,
+    completion: C,
+}
+
+/// The fluid-flow engine. `C` is an opaque completion payload returned to
+/// the caller when a flow finishes (the simulation driver stores event
+/// closures here).
+pub struct FlowEngine<C> {
+    resources: Vec<Resource>,
+    flows: BTreeMap<FlowId, ActiveFlow<C>>,
+    next_id: u64,
+    last_advance: SimTime,
+    flows_started: u64,
+    flows_completed: u64,
+}
+
+impl<C> Default for FlowEngine<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<C> FlowEngine<C> {
+    /// An engine with no resources or flows.
+    pub fn new() -> Self {
+        FlowEngine {
+            resources: Vec::new(),
+            flows: BTreeMap::new(),
+            next_id: 0,
+            last_advance: SimTime::ZERO,
+            flows_started: 0,
+            flows_completed: 0,
+        }
+    }
+
+    /// Register a resource with `capacity` bytes/second. Panics if the
+    /// capacity is not finite and positive.
+    pub fn add_resource(&mut self, name: impl Into<String>, capacity: f64) -> ResourceId {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "resource capacity must be finite and positive"
+        );
+        let id = ResourceId(u32::try_from(self.resources.len()).expect("too many resources"));
+        self.resources.push(Resource {
+            name: name.into(),
+            capacity,
+            stats: ResourceStats::default(),
+        });
+        id
+    }
+
+    /// Name of a resource (for reports).
+    pub fn resource_name(&self, id: ResourceId) -> &str {
+        &self.resources[id.index()].name
+    }
+
+    /// Capacity of a resource in bytes/second.
+    pub fn resource_capacity(&self, id: ResourceId) -> f64 {
+        self.resources[id.index()].capacity
+    }
+
+    /// Statistics accumulated for a resource so far.
+    pub fn resource_stats(&self, id: ResourceId) -> &ResourceStats {
+        &self.resources[id.index()].stats
+    }
+
+    /// Number of registered resources.
+    pub fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// (started, completed) flow counters.
+    pub fn flow_counters(&self) -> (u64, u64) {
+        (self.flows_started, self.flows_completed)
+    }
+
+    /// Number of currently active flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Start a flow at time `now`. The spec must not be instantaneous
+    /// (check [`FlowSpec::is_instant`] first); panics otherwise. Panics if a
+    /// rate cap is present but not finite and positive, or if the path
+    /// names an unregistered resource.
+    pub fn start(&mut self, now: SimTime, spec: FlowSpec, completion: C) -> FlowId {
+        assert!(!spec.is_instant(), "instant flows must be handled by the caller");
+        if let Some(cap) = spec.rate_cap {
+            assert!(cap.is_finite() && cap > 0.0, "rate cap must be positive");
+        }
+        for r in &spec.path {
+            assert!(r.index() < self.resources.len(), "unknown resource in path");
+        }
+        self.advance_to(now);
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            ActiveFlow {
+                remaining: spec.bytes as f64,
+                path: spec.path,
+                cap: spec.rate_cap,
+                rate: 0.0,
+                completion,
+            },
+        );
+        self.flows_started += 1;
+        self.recompute_rates();
+        id
+    }
+
+    /// Cancel an active flow, returning its completion payload if it was
+    /// still active.
+    pub fn cancel(&mut self, now: SimTime, id: FlowId) -> Option<C> {
+        self.advance_to(now);
+        let flow = self.flows.remove(&id)?;
+        self.recompute_rates();
+        Some(flow.completion)
+    }
+
+    /// The earliest (time, flow) completion among active flows, if any.
+    pub fn next_completion(&self) -> Option<(SimTime, FlowId)> {
+        let mut best: Option<(SimTime, FlowId)> = None;
+        for (&id, f) in &self.flows {
+            debug_assert!(f.rate > 0.0, "active flow with zero rate");
+            let dt = SimDuration::from_secs_f64(f.remaining / f.rate);
+            // Never schedule strictly before the present accounting point.
+            let t = self.last_advance + dt;
+            match best {
+                Some((bt, _)) if bt <= t => {}
+                _ => best = Some((t, id)),
+            }
+        }
+        best
+    }
+
+    /// Complete flow `id` at time `now` (as previously announced by
+    /// [`Self::next_completion`]) and return its completion payload.
+    pub fn complete(&mut self, now: SimTime, id: FlowId) -> C {
+        self.advance_to(now);
+        let mut flow = self.flows.remove(&id).expect("completing unknown flow");
+        // Rounding the completion instant to nanoseconds can leave a
+        // vanishing residue; the flow is done by construction.
+        flow.remaining = 0.0;
+        self.flows_completed += 1;
+        self.recompute_rates();
+        flow.completion
+    }
+
+    /// Advance accounting to `now`, crediting progress to all active flows.
+    fn advance_to(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_advance, "time went backwards");
+        let dt = now.since(self.last_advance).as_secs_f64();
+        if dt > 0.0 {
+            let mut used = vec![0.0f64; self.resources.len()];
+            let mut any = vec![false; self.resources.len()];
+            for f in self.flows.values_mut() {
+                let moved = f.rate * dt;
+                f.remaining = (f.remaining - moved).max(0.0);
+                for r in &f.path {
+                    used[r.index()] += moved;
+                    any[r.index()] = true;
+                }
+            }
+            for (i, res) in self.resources.iter_mut().enumerate() {
+                res.stats.bytes += used[i];
+                if any[i] {
+                    res.stats.busy_secs += dt;
+                }
+                res.stats.util_integral += (used[i] / dt / res.capacity).min(1.0) * dt;
+            }
+        }
+        self.last_advance = now;
+    }
+
+    /// Progressive-filling max–min fair allocation with per-flow caps.
+    fn recompute_rates(&mut self) {
+        let n_res = self.resources.len();
+        let mut cap_left: Vec<f64> = self.resources.iter().map(|r| r.capacity).collect();
+        let mut load = vec![0u32; n_res];
+
+        // Work on a snapshot of flow order for deterministic arithmetic.
+        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
+        let mut fixed: Vec<bool> = vec![false; ids.len()];
+        let mut rate: Vec<f64> = vec![0.0; ids.len()];
+
+        for (i, id) in ids.iter().enumerate() {
+            let f = &self.flows[id];
+            if f.path.is_empty() {
+                // Only a cap constrains this flow.
+                rate[i] = f.cap.expect("uncapped pathless flow");
+                fixed[i] = true;
+            } else {
+                for r in &f.path {
+                    load[r.index()] += 1;
+                }
+            }
+        }
+
+        loop {
+            // Bottleneck candidate from resources.
+            let mut share = f64::INFINITY;
+            for r in 0..n_res {
+                if load[r] > 0 {
+                    share = share.min(cap_left[r].max(0.0) / f64::from(load[r]));
+                }
+            }
+            // Bottleneck candidate from per-flow caps.
+            let mut min_cap = f64::INFINITY;
+            for (i, id) in ids.iter().enumerate() {
+                if !fixed[i] {
+                    if let Some(c) = self.flows[id].cap {
+                        min_cap = min_cap.min(c);
+                    }
+                }
+            }
+            if share.is_infinite() && min_cap.is_infinite() {
+                break; // no unfixed flows left
+            }
+
+            let mut progressed = false;
+            if min_cap <= share {
+                // Freeze every unfixed flow whose cap equals the bottleneck.
+                for (i, id) in ids.iter().enumerate() {
+                    if fixed[i] {
+                        continue;
+                    }
+                    let f = &self.flows[id];
+                    if f.cap.is_some_and(|c| c <= share && c <= min_cap) {
+                        rate[i] = f.cap.unwrap();
+                        fixed[i] = true;
+                        progressed = true;
+                        for r in &f.path {
+                            cap_left[r.index()] -= rate[i];
+                            load[r.index()] -= 1;
+                        }
+                    }
+                }
+            } else {
+                // Freeze every unfixed flow crossing a saturated resource.
+                let eps = share * 1e-12;
+                let saturated: Vec<bool> = (0..n_res)
+                    .map(|r| load[r] > 0 && cap_left[r].max(0.0) / f64::from(load[r]) <= share + eps)
+                    .collect();
+                for (i, id) in ids.iter().enumerate() {
+                    if fixed[i] {
+                        continue;
+                    }
+                    let f = &self.flows[id];
+                    if f.path.iter().any(|r| saturated[r.index()]) {
+                        rate[i] = share;
+                        fixed[i] = true;
+                        progressed = true;
+                        for r in &f.path {
+                            cap_left[r.index()] -= share;
+                            load[r.index()] -= 1;
+                        }
+                    }
+                }
+            }
+            debug_assert!(progressed, "progressive filling stalled");
+            if !progressed {
+                break;
+            }
+        }
+
+        for (i, id) in ids.iter().enumerate() {
+            self.flows.get_mut(id).expect("flow vanished").rate = rate[i].max(f64::MIN_POSITIVE);
+        }
+    }
+
+    /// Instantaneous rate of an active flow (testing/diagnostics).
+    pub fn flow_rate(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.rate)
+    }
+
+    /// Remaining bytes of an active flow (testing/diagnostics).
+    pub fn flow_remaining(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.remaining)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let mut fe: FlowEngine<()> = FlowEngine::new();
+        let r = fe.add_resource("disk", 100.0);
+        let id = fe.start(t(0.0), FlowSpec::new(1000, vec![r]), ());
+        assert_eq!(fe.flow_rate(id), Some(100.0));
+        let (done, fid) = fe.next_completion().unwrap();
+        assert_eq!(fid, id);
+        assert!((done.as_secs_f64() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cap_limits_single_flow() {
+        let mut fe: FlowEngine<()> = FlowEngine::new();
+        let r = fe.add_resource("disk", 100.0);
+        let id = fe.start(t(0.0), FlowSpec::new(1000, vec![r]).with_cap(20.0), ());
+        assert_eq!(fe.flow_rate(id), Some(20.0));
+    }
+
+    #[test]
+    fn two_flows_share_fairly() {
+        let mut fe: FlowEngine<u32> = FlowEngine::new();
+        let r = fe.add_resource("nic", 100.0);
+        let a = fe.start(t(0.0), FlowSpec::new(1000, vec![r]), 1);
+        let b = fe.start(t(0.0), FlowSpec::new(1000, vec![r]), 2);
+        assert_eq!(fe.flow_rate(a), Some(50.0));
+        assert_eq!(fe.flow_rate(b), Some(50.0));
+    }
+
+    #[test]
+    fn capped_flow_releases_share_to_others() {
+        let mut fe: FlowEngine<()> = FlowEngine::new();
+        let r = fe.add_resource("nic", 100.0);
+        let slow = fe.start(t(0.0), FlowSpec::new(1000, vec![r]).with_cap(10.0), ());
+        let fast = fe.start(t(0.0), FlowSpec::new(1000, vec![r]), ());
+        assert_eq!(fe.flow_rate(slow), Some(10.0));
+        assert_eq!(fe.flow_rate(fast), Some(90.0));
+    }
+
+    #[test]
+    fn max_min_across_two_resources() {
+        // Classic example: flow A crosses r1 (cap 100) and r2 (cap 30).
+        // Flow B crosses r1 only. A is limited to 30 by r2; B gets 70.
+        let mut fe: FlowEngine<()> = FlowEngine::new();
+        let r1 = fe.add_resource("r1", 100.0);
+        let r2 = fe.add_resource("r2", 30.0);
+        let a = fe.start(t(0.0), FlowSpec::new(1000, vec![r1, r2]), ());
+        let b = fe.start(t(0.0), FlowSpec::new(1000, vec![r1]), ());
+        let ra = fe.flow_rate(a).unwrap();
+        let rb = fe.flow_rate(b).unwrap();
+        assert!((ra - 30.0).abs() < 1e-9, "ra={ra}");
+        assert!((rb - 70.0).abs() < 1e-9, "rb={rb}");
+    }
+
+    #[test]
+    fn completion_frees_bandwidth() {
+        let mut fe: FlowEngine<u32> = FlowEngine::new();
+        let r = fe.add_resource("nic", 100.0);
+        let a = fe.start(t(0.0), FlowSpec::new(100, vec![r]), 1);
+        let _b = fe.start(t(0.0), FlowSpec::new(1000, vec![r]), 2);
+        // Both run at 50; A (100 bytes) completes at t=2.
+        let (done, fid) = fe.next_completion().unwrap();
+        assert_eq!(fid, a);
+        assert!((done.as_secs_f64() - 2.0).abs() < 1e-6);
+        let payload = fe.complete(done, fid);
+        assert_eq!(payload, 1);
+        // B progressed 100 bytes, 900 left at rate 100 → completes at t=11.
+        let (done_b, _) = fe.next_completion().unwrap();
+        assert!((done_b.as_secs_f64() - 11.0).abs() < 1e-5, "{done_b}");
+    }
+
+    #[test]
+    fn arrival_mid_flight_slows_existing_flow() {
+        let mut fe: FlowEngine<()> = FlowEngine::new();
+        let r = fe.add_resource("nic", 100.0);
+        let a = fe.start(t(0.0), FlowSpec::new(1000, vec![r]), ());
+        // At t=5, A has 500 bytes left; B arrives; both run at 50.
+        let _b = fe.start(t(5.0), FlowSpec::new(1000, vec![r]), ());
+        assert!((fe.flow_remaining(a).unwrap() - 500.0).abs() < 1e-6);
+        assert_eq!(fe.flow_rate(a), Some(50.0));
+        let (done, fid) = fe.next_completion().unwrap();
+        assert_eq!(fid, a);
+        assert!((done.as_secs_f64() - 15.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cancel_returns_payload_and_frees_capacity() {
+        let mut fe: FlowEngine<&'static str> = FlowEngine::new();
+        let r = fe.add_resource("nic", 100.0);
+        let a = fe.start(t(0.0), FlowSpec::new(1000, vec![r]), "a");
+        let b = fe.start(t(0.0), FlowSpec::new(1000, vec![r]), "b");
+        assert_eq!(fe.cancel(t(1.0), a), Some("a"));
+        assert_eq!(fe.cancel(t(1.0), a), None);
+        assert_eq!(fe.flow_rate(b), Some(100.0));
+    }
+
+    #[test]
+    fn zero_byte_flow_is_instant() {
+        assert!(FlowSpec::new(0, vec![ResourceId(0)]).is_instant());
+        assert!(FlowSpec::new(10, vec![]).is_instant());
+        assert!(!FlowSpec::new(10, vec![]).with_cap(5.0).is_instant());
+    }
+
+    #[test]
+    fn pathless_capped_flow_runs_at_cap() {
+        let mut fe: FlowEngine<()> = FlowEngine::new();
+        let id = fe.start(t(0.0), FlowSpec::new(100, vec![]).with_cap(10.0), ());
+        assert_eq!(fe.flow_rate(id), Some(10.0));
+        let (done, _) = fe.next_completion().unwrap();
+        assert!((done.as_secs_f64() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stats_accumulate_bytes_and_busy_time() {
+        let mut fe: FlowEngine<()> = FlowEngine::new();
+        let r = fe.add_resource("disk", 100.0);
+        let id = fe.start(t(0.0), FlowSpec::new(500, vec![r]), ());
+        let (done, _) = fe.next_completion().unwrap();
+        fe.complete(done, id);
+        let s = fe.resource_stats(r);
+        assert!((s.bytes - 500.0).abs() < 1e-6);
+        assert!((s.busy_secs - 5.0).abs() < 1e-6);
+        assert!((s.util_integral - 5.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn many_flows_conserve_capacity() {
+        let mut fe: FlowEngine<usize> = FlowEngine::new();
+        let r = fe.add_resource("nic", 1000.0);
+        let mut ids = Vec::new();
+        for i in 0..50 {
+            ids.push(fe.start(t(0.0), FlowSpec::new(10_000, vec![r]), i));
+        }
+        let total: f64 = ids.iter().map(|id| fe.flow_rate(*id).unwrap()).sum();
+        assert!((total - 1000.0).abs() < 1e-6, "total={total}");
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Two identical flows: next_completion must consistently pick the
+        // lower FlowId.
+        let mut fe: FlowEngine<()> = FlowEngine::new();
+        let r = fe.add_resource("nic", 100.0);
+        let a = fe.start(t(0.0), FlowSpec::new(100, vec![r]), ());
+        let _b = fe.start(t(0.0), FlowSpec::new(100, vec![r]), ());
+        let (_, fid) = fe.next_completion().unwrap();
+        assert_eq!(fid, a);
+    }
+}

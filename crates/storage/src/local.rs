@@ -1,0 +1,215 @@
+//! The local-disk baseline: all data on one node's RAID 0 array.
+//!
+//! The paper reports "Local" as a single point in every figure — a single
+//! `c1.xlarge` with tasks reading and writing the local ephemeral RAID
+//! directly. Writes of fresh data pay the first-write penalty (§III.C).
+
+use crate::lru::LruBytes;
+use crate::op::{OpPlan, Stage};
+use crate::traits::{Constraints, FileRef, StorageOpStats, StorageSystem};
+use simcore::SimDuration;
+use std::collections::HashSet;
+use vcluster::{Cluster, NodeId};
+use wfdag::FileId;
+
+/// Tunables for the local file system.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalConfig {
+    /// Per-operation open/close overhead.
+    pub open_latency: SimDuration,
+    /// Fraction of node memory acting as page cache: recently written or
+    /// read files are served from RAM. Write-once data never goes stale.
+    pub page_cache_fraction: f64,
+}
+
+impl Default for LocalConfig {
+    fn default() -> Self {
+        LocalConfig {
+            open_latency: SimDuration::from_nanos(200_000), // 0.2 ms
+            page_cache_fraction: 0.5,
+        }
+    }
+}
+
+/// Local-disk storage (single worker only).
+#[derive(Debug)]
+pub struct LocalDisk {
+    cfg: LocalConfig,
+    present: HashSet<FileId>,
+    page_cache: LruBytes,
+    stats: StorageOpStats,
+}
+
+impl LocalDisk {
+    /// A local-disk system over the given cluster's single worker.
+    pub fn new(cluster: &Cluster, cfg: LocalConfig) -> Self {
+        let mem = cluster.node(cluster.workers()[0]).memory_bytes() as f64;
+        LocalDisk {
+            cfg,
+            present: HashSet::new(),
+            page_cache: LruBytes::new((mem * cfg.page_cache_fraction) as u64),
+            stats: StorageOpStats::default(),
+        }
+    }
+}
+
+impl StorageSystem for LocalDisk {
+    fn name(&self) -> &'static str {
+        "local"
+    }
+
+    fn constraints(&self) -> Constraints {
+        Constraints {
+            min_workers: 1,
+            max_workers: Some(1),
+            needs_server: false,
+        }
+    }
+
+    fn prestage(&mut self, _cluster: &Cluster, files: &[FileRef]) {
+        for (f, _) in files {
+            self.present.insert(*f);
+        }
+    }
+
+    fn plan_read(&mut self, cluster: &Cluster, node: NodeId, (file, size): FileRef) -> OpPlan {
+        assert!(self.present.contains(&file), "read of a file never written: {file:?}");
+        self.stats.reads += 1;
+        self.stats.bytes_read += size;
+        if self.page_cache.touch(file) {
+            self.stats.cache_hits += 1;
+            return OpPlan::one(Stage::latency(self.cfg.open_latency));
+        }
+        self.stats.cache_misses += 1;
+        self.page_cache.insert(file, size);
+        let n = cluster.node(node);
+        OpPlan::one(Stage::lat_leg(
+            self.cfg.open_latency,
+            crate::op::FlowLeg {
+                bytes: size,
+                path: n.local_read(size).path,
+                rate_cap: None,
+            },
+        ))
+    }
+
+    fn plan_write(&mut self, cluster: &Cluster, node: NodeId, (file, size): FileRef) -> OpPlan {
+        assert!(self.present.insert(file), "write-once violated for {file:?}");
+        self.stats.writes += 1;
+        self.stats.bytes_written += size;
+        self.page_cache.insert(file, size);
+        let n = cluster.node(node);
+        let spec = n.local_write(size);
+        OpPlan::one(Stage::lat_leg(
+            self.cfg.open_latency,
+            crate::op::FlowLeg {
+                bytes: size,
+                path: spec.path,
+                rate_cap: spec.rate_cap,
+            },
+        ))
+    }
+
+    fn local_bytes(&self, _cluster: &Cluster, _node: NodeId, files: &[FileRef]) -> u64 {
+        files
+            .iter()
+            .filter(|(f, _)| self.present.contains(f))
+            .map(|(_, s)| *s)
+            .sum()
+    }
+
+    fn op_stats(&self) -> StorageOpStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::Sim;
+    use vcluster::ClusterSpec;
+
+    fn setup() -> (Sim<()>, Cluster, LocalDisk) {
+        let mut sim: Sim<()> = Sim::new();
+        let c = Cluster::provision(&mut sim, &ClusterSpec::workers_only(1));
+        let local = LocalDisk::new(&c, LocalConfig::default());
+        (sim, c, local)
+    }
+
+    #[test]
+    fn read_uses_disk_read_resource() {
+        let (_, c, mut s) = setup();
+        s.prestage(&c, &[(FileId(0), 1000)]);
+        let plan = s.plan_read(&c, c.workers()[0], (FileId(0), 1000));
+        assert_eq!(plan.stages.len(), 1);
+        let leg = &plan.stages[0].legs[0];
+        assert_eq!(leg.bytes, 1000);
+        assert_eq!(leg.path, c.node(c.workers()[0]).read_path());
+        assert!(leg.rate_cap.is_none());
+    }
+
+    #[test]
+    fn write_pays_first_write_penalty() {
+        let (_, c, mut s) = setup();
+        let plan = s.plan_write(&c, c.workers()[0], (FileId(1), 1000));
+        let leg = &plan.stages[0].legs[0];
+        let n = c.node(c.workers()[0]);
+        assert_eq!(leg.path, n.write_path());
+        assert_eq!(leg.path.len(), 3, "spindle + write + penalty resource");
+    }
+
+    #[test]
+    #[should_panic(expected = "write-once")]
+    fn double_write_panics() {
+        let (_, c, mut s) = setup();
+        s.plan_write(&c, c.workers()[0], (FileId(1), 10));
+        s.plan_write(&c, c.workers()[0], (FileId(1), 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "never written")]
+    fn read_before_write_panics() {
+        let (_, c, mut s) = setup();
+        s.plan_read(&c, c.workers()[0], (FileId(7), 10));
+    }
+
+    #[test]
+    fn stats_and_local_bytes() {
+        let (_, c, mut s) = setup();
+        let w = c.workers()[0];
+        s.prestage(&c, &[(FileId(0), 500)]);
+        s.plan_read(&c, w, (FileId(0), 500));
+        s.plan_write(&c, w, (FileId(1), 300));
+        let st = s.op_stats();
+        assert_eq!((st.reads, st.writes), (1, 1));
+        assert_eq!((st.bytes_read, st.bytes_written), (500, 300));
+        assert_eq!(s.local_bytes(&c, w, &[(FileId(0), 500), (FileId(1), 300), (FileId(2), 9)]), 800);
+    }
+
+    #[test]
+    fn constraints_limit_to_one_worker() {
+        let (_, _, s) = setup();
+        assert_eq!(s.constraints().max_workers, Some(1));
+    }
+
+    #[test]
+    fn rereads_hit_the_page_cache() {
+        let (_, c, mut s) = setup();
+        let w = c.workers()[0];
+        s.plan_write(&c, w, (FileId(0), 1000));
+        let plan = s.plan_read(&c, w, (FileId(0), 1000));
+        assert!(plan.stages[0].legs.is_empty(), "warm read served from RAM");
+        assert_eq!(s.op_stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn cold_reads_go_to_disk_and_warm_the_cache() {
+        let (_, c, mut s) = setup();
+        let w = c.workers()[0];
+        s.prestage(&c, &[(FileId(0), 1000)]);
+        let cold = s.plan_read(&c, w, (FileId(0), 1000));
+        assert_eq!(cold.stages[0].legs.len(), 1);
+        let warm = s.plan_read(&c, w, (FileId(0), 1000));
+        assert!(warm.stages[0].legs.is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! A byte-budgeted LRU set of files, used for the NFS server page cache
+//! and other whole-file caches.
+
+use std::collections::HashMap;
+use wfdag::FileId;
+
+/// Tracks which files are resident in a cache of fixed byte capacity,
+/// evicting least-recently-used entries when space runs out.
+#[derive(Debug, Clone)]
+pub struct LruBytes {
+    capacity: u64,
+    used: u64,
+    stamp: u64,
+    entries: HashMap<FileId, (u64, u64)>, // file -> (bytes, last-use stamp)
+}
+
+impl LruBytes {
+    /// A cache holding at most `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        LruBytes {
+            capacity,
+            used: 0,
+            stamp: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently resident.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of resident files.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Is `file` resident? (Does not touch recency.)
+    pub fn contains(&self, file: FileId) -> bool {
+        self.entries.contains_key(&file)
+    }
+
+    /// Look up `file`, refreshing its recency on a hit.
+    pub fn touch(&mut self, file: FileId) -> bool {
+        self.stamp += 1;
+        if let Some(e) = self.entries.get_mut(&file) {
+            e.1 = self.stamp;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Insert `file` of `bytes`, evicting LRU entries as needed. Files
+    /// larger than the whole cache are not inserted. Returns the evicted
+    /// file ids.
+    pub fn insert(&mut self, file: FileId, bytes: u64) -> Vec<FileId> {
+        self.stamp += 1;
+        if let Some(e) = self.entries.get_mut(&file) {
+            // Write-once workloads never change a file's size.
+            e.1 = self.stamp;
+            return Vec::new();
+        }
+        if bytes > self.capacity {
+            return Vec::new();
+        }
+        let mut evicted = Vec::new();
+        while self.used + bytes > self.capacity {
+            // O(n) LRU scan: caches hold at most tens of thousands of
+            // entries and evictions are rare at these workload sizes.
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(id, (_, st))| (*st, **id))
+                .map(|(id, _)| *id)
+                .expect("over budget implies non-empty");
+            let (vbytes, _) = self.entries.remove(&victim).expect("victim resident");
+            self.used -= vbytes;
+            evicted.push(victim);
+        }
+        self.entries.insert(file, (bytes, self.stamp));
+        self.used += bytes;
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FileId {
+        FileId(i)
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut c = LruBytes::new(100);
+        assert!(c.insert(f(1), 40).is_empty());
+        assert!(c.contains(f(1)));
+        assert!(!c.contains(f(2)));
+        assert_eq!(c.used(), 40);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruBytes::new(100);
+        c.insert(f(1), 40);
+        c.insert(f(2), 40);
+        assert!(c.touch(f(1))); // 2 is now LRU
+        let evicted = c.insert(f(3), 40);
+        assert_eq!(evicted, vec![f(2)]);
+        assert!(c.contains(f(1)));
+        assert!(c.contains(f(3)));
+        assert_eq!(c.used(), 80);
+    }
+
+    #[test]
+    fn oversized_file_not_cached() {
+        let mut c = LruBytes::new(100);
+        assert!(c.insert(f(1), 200).is_empty());
+        assert!(!c.contains(f(1)));
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_double_count() {
+        let mut c = LruBytes::new(100);
+        c.insert(f(1), 60);
+        c.insert(f(1), 60);
+        assert_eq!(c.used(), 60);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_cascades_until_fit() {
+        let mut c = LruBytes::new(100);
+        c.insert(f(1), 30);
+        c.insert(f(2), 30);
+        c.insert(f(3), 30);
+        let evicted = c.insert(f(4), 90);
+        assert_eq!(evicted.len(), 3);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used(), 90);
+    }
+
+    #[test]
+    fn touch_miss_returns_false() {
+        let mut c = LruBytes::new(100);
+        assert!(!c.touch(f(9)));
+    }
+}

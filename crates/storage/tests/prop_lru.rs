@@ -1,0 +1,70 @@
+//! Property tests for the byte-budgeted LRU cache.
+
+use proptest::prelude::*;
+use wfdag::FileId;
+use wfstorage::LruBytes;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32, u64),
+    Touch(u32),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..40, 1u64..5000).prop_map(|(f, b)| Op::Insert(f, b)),
+            (0u32..40).prop_map(Op::Touch),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The cache never exceeds its byte budget, usage matches the
+    /// resident set, and evicted entries are really gone.
+    #[test]
+    fn budget_and_accounting_hold(capacity in 1000u64..20_000, ops in ops()) {
+        let mut cache = LruBytes::new(capacity);
+        let mut model: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(f, b) => {
+                    let evicted = cache.insert(FileId(f), b);
+                    for e in evicted {
+                        prop_assert!(model.remove(&e.0).is_some(), "evicted something not resident");
+                    }
+                    if b <= capacity {
+                        model.entry(f).or_insert(b);
+                    }
+                }
+                Op::Touch(f) => {
+                    let hit = cache.touch(FileId(f));
+                    prop_assert_eq!(hit, model.contains_key(&f));
+                }
+            }
+            prop_assert!(cache.used() <= capacity, "{} > {capacity}", cache.used());
+            let model_bytes: u64 = model.values().sum();
+            prop_assert_eq!(cache.used(), model_bytes);
+            prop_assert_eq!(cache.len(), model.len());
+        }
+    }
+
+    /// Entries touched most recently survive a squeeze.
+    #[test]
+    fn recency_is_respected(n in 3usize..20) {
+        let per = 100u64;
+        let mut cache = LruBytes::new(per * n as u64);
+        for i in 0..n {
+            cache.insert(FileId(i as u32), per);
+        }
+        // Refresh the first entry, then overflow by one: the *second*
+        // entry (now the LRU) must be the victim.
+        cache.touch(FileId(0));
+        let evicted = cache.insert(FileId(999), per);
+        prop_assert_eq!(evicted, vec![FileId(1)]);
+        prop_assert!(cache.contains(FileId(0)));
+    }
+}

@@ -1,0 +1,25 @@
+//! # vcluster — an EC2-like virtual cluster for the simulator
+//!
+//! Models the execution environment of §III of the paper:
+//!
+//! * [`instance`] — the 2010 EC2 instance catalog (`c1.xlarge` workers,
+//!   `m1.xlarge`/`m2.4xlarge` NFS servers) with cores, memory, NIC
+//!   bandwidth and hourly prices.
+//! * [`disk`] — ephemeral disks with the measured first-write penalty and
+//!   software RAID 0 aggregation (§III.C).
+//! * [`cluster`] — provisioning a virtual cluster: every node contributes
+//!   NIC and disk resources to the fluid-flow engine.
+//! * [`provision`] — the Nimbus Context Broker boot/contextualize
+//!   timeline (§III.A), excluded from makespans but measurable.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod disk;
+pub mod instance;
+pub mod provision;
+
+pub use cluster::{net_path, Cluster, ClusterSpec, Node, NodeId, NodeRole};
+pub use disk::{DiskProfile, RaidEfficiency, MBPS};
+pub use instance::{InstanceType, GIB};
+pub use provision::{provision_timeline, ProvisionConfig, ProvisionReport};

@@ -1,0 +1,44 @@
+//! # wfdag — the scientific-workflow DAG model
+//!
+//! Workflows in the paper (§I) are loosely-coupled parallel applications:
+//! tasks communicate exclusively through write-once files, and task A
+//! precedes task B iff B consumes a file A produces.
+//!
+//! * [`builder::WorkflowBuilder`] — declare files and tasks incrementally.
+//! * [`model::Workflow`] — the validated DAG: producers, consumers, file
+//!   classes, levels, topological order. Validation rejects write-once
+//!   violations, self-loops and cycles.
+//! * [`analysis`] — aggregate statistics (§II's table of task counts and
+//!   data volumes), critical paths, parallelism bounds.
+//! * [`clustering`] — Pegasus-style horizontal task clustering.
+//! * [`serialize`] — a DAX-like JSON interchange format with validation
+//!   on load.
+//!
+//! ```
+//! use wfdag::{WorkflowBuilder, critical_path_secs};
+//!
+//! let mut b = WorkflowBuilder::new("demo");
+//! let raw = b.file("raw.dat", 1_000_000);
+//! let out = b.file("out.dat", 1_000);
+//! b.task("produce", "gen", 2.0, 0, vec![], vec![raw]);
+//! b.task("consume", "use", 3.0, 0, vec![raw], vec![out]);
+//! let wf = b.build().unwrap();
+//! assert_eq!(wf.task_count(), 2);
+//! assert_eq!(critical_path_secs(&wf), 5.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod builder;
+pub mod clustering;
+pub mod ids;
+pub mod model;
+pub mod serialize;
+
+pub use analysis::{average_parallelism, critical_path_secs, level_histogram, stats, WorkflowStats};
+pub use builder::WorkflowBuilder;
+pub use clustering::cluster_horizontal;
+pub use ids::{FileId, TaskId};
+pub use model::{File, FileClass, Task, Workflow, WorkflowError};
+pub use serialize::{from_json, to_json, LoadError};

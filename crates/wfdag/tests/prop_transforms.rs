@@ -1,0 +1,107 @@
+//! Property tests for workflow transformations: clustering and the
+//! interchange format must preserve semantics on arbitrary layered DAGs.
+
+use proptest::prelude::*;
+use wfdag::{analysis, cluster_horizontal, from_json, to_json, FileId, Workflow, WorkflowBuilder};
+
+#[derive(Debug, Clone)]
+struct GenDag {
+    layers: Vec<u8>,
+    fanin: u8,
+    transformations_per_layer: u8,
+}
+
+fn gen_dag() -> impl Strategy<Value = GenDag> {
+    (
+        proptest::collection::vec(1u8..8, 1..5),
+        1u8..4,
+        1u8..3,
+    )
+        .prop_map(|(layers, fanin, transformations_per_layer)| GenDag {
+            layers,
+            fanin,
+            transformations_per_layer,
+        })
+}
+
+fn build(dag: &GenDag) -> Workflow {
+    let mut b = WorkflowBuilder::new("random");
+    let mut prev: Vec<FileId> = Vec::new();
+    let mut uid = 7u32;
+    for (li, &width) in dag.layers.iter().enumerate() {
+        let mut outs = Vec::new();
+        for t in 0..width {
+            let out = b.file(format!("f{li}_{t}"), 1000 + u64::from(t));
+            let mut inputs: Vec<FileId> = (0..dag.fanin)
+                .filter_map(|_| {
+                    if prev.is_empty() {
+                        None
+                    } else {
+                        uid = uid.wrapping_mul(1664525).wrapping_add(1013904223);
+                        Some(prev[(uid as usize) % prev.len()])
+                    }
+                })
+                .collect();
+            inputs.sort_unstable();
+            inputs.dedup();
+            let trans = format!("x{li}_{}", t % dag.transformations_per_layer.max(1));
+            let tid = b.task(format!("t{li}_{t}"), trans, 1.5, 1 << 20, inputs, vec![out]);
+            b.set_io_ops(tid, 10 + u32::from(t));
+            outs.push(out);
+        }
+        prev = outs;
+    }
+    b.build().expect("layered DAGs validate")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Clustering preserves compute totals, file tables, byte classes
+    /// and operation counts, and never increases the job count.
+    #[test]
+    fn clustering_preserves_semantics(dag in gen_dag(), k in 1u32..6) {
+        let wf = build(&dag);
+        let c = cluster_horizontal(&wf, k);
+        let (s0, s1) = (analysis::stats(&wf), analysis::stats(&c));
+        prop_assert!((s0.total_cpu_secs - s1.total_cpu_secs).abs() < 1e-9);
+        prop_assert_eq!(s0.files, s1.files);
+        prop_assert_eq!(s0.input_bytes, s1.input_bytes);
+        prop_assert_eq!(s0.output_bytes, s1.output_bytes);
+        prop_assert!(c.task_count() <= wf.task_count());
+        let ops0: u64 = wf.tasks().iter().map(|t| u64::from(t.io_ops)).sum();
+        let ops1: u64 = c.tasks().iter().map(|t| u64::from(t.io_ops)).sum();
+        prop_assert_eq!(ops0, ops1, "operation demand is conserved");
+        // Critical path can only stay equal or grow (members serialize).
+        prop_assert!(
+            analysis::critical_path_secs(&c) + 1e-9 >= analysis::critical_path_secs(&wf)
+        );
+    }
+
+    /// The interchange format round-trips arbitrary layered DAGs exactly.
+    #[test]
+    fn serialization_round_trips(dag in gen_dag()) {
+        let wf = build(&dag);
+        let back = from_json(&to_json(&wf)).expect("round trip");
+        prop_assert_eq!(wf.task_count(), back.task_count());
+        prop_assert_eq!(wf.file_count(), back.file_count());
+        prop_assert_eq!(analysis::stats(&wf), analysis::stats(&back));
+        for (a, b) in wf.tasks().iter().zip(back.tasks()) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.level, b.level);
+            prop_assert_eq!(a.io_ops, b.io_ops);
+            prop_assert_eq!(&a.inputs, &b.inputs);
+            prop_assert_eq!(&a.outputs, &b.outputs);
+        }
+    }
+
+    /// Clustering then serializing commutes with serializing then
+    /// clustering (both paths produce equivalent structure).
+    #[test]
+    fn clustering_commutes_with_serialization(dag in gen_dag(), k in 1u32..5) {
+        let wf = build(&dag);
+        let a = to_json(&cluster_horizontal(&wf, k));
+        let b = to_json(&cluster_horizontal(&from_json(&to_json(&wf)).unwrap(), k));
+        prop_assert_eq!(a, b);
+    }
+}

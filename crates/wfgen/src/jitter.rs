@@ -1,0 +1,59 @@
+//! Deterministic service-time and file-size jitter for the generators.
+
+use simcore::DetRng;
+
+/// Draws jittered sizes and durations from a named deterministic stream.
+#[derive(Debug, Clone)]
+pub struct Jitter {
+    rng: DetRng,
+}
+
+impl Jitter {
+    /// A jitter stream for `label` under `seed`.
+    pub fn new(seed: u64, label: &str) -> Self {
+        Jitter {
+            rng: DetRng::stream(seed, label),
+        }
+    }
+
+    /// A file size near `mean` bytes with coefficient of variation `cv`
+    /// (log-normal, never below 1 byte).
+    pub fn size(&mut self, mean: u64, cv: f64) -> u64 {
+        (self.rng.lognormal_mean_cv(mean as f64, cv).round() as u64).max(1)
+    }
+
+    /// A duration near `mean` seconds with coefficient of variation `cv`
+    /// (log-normal, never below 1 ms).
+    pub fn secs(&mut self, mean: f64, cv: f64) -> f64 {
+        self.rng.lognormal_mean_cv(mean, cv).max(0.001)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = Jitter::new(1, "x");
+        let mut b = Jitter::new(1, "x");
+        assert_eq!(a.size(1000, 0.2), b.size(1000, 0.2));
+        assert_eq!(a.secs(2.0, 0.2).to_bits(), b.secs(2.0, 0.2).to_bits());
+    }
+
+    #[test]
+    fn sizes_concentrate_near_mean() {
+        let mut j = Jitter::new(7, "s");
+        let n = 5000;
+        let sum: u64 = (0..n).map(|_| j.size(1_000_000, 0.1)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 1e6).abs() / 1e6 < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn floors_apply() {
+        let mut j = Jitter::new(7, "f");
+        assert!(j.size(1, 3.0) >= 1);
+        assert!(j.secs(0.0001, 0.1) >= 0.001);
+    }
+}

@@ -1,0 +1,33 @@
+//! Figs 5–7: the cost of every (application, storage, cluster-size) cell
+//! under Amazon's 2010 per-hour billing and hypothetical per-second
+//! billing.
+//!
+//! ```text
+//! cargo run --release --example cost_report
+//! ```
+
+use ec2_workflow_sim::expt::{cost_figure, render, runtime_figure};
+use ec2_workflow_sim::wfgen::App;
+
+fn main() {
+    for (app, number) in [(App::Montage, 5u32), (App::Epigenome, 6), (App::Broadband, 7)] {
+        let fig = runtime_figure(app, 42);
+        let cf = cost_figure(&fig);
+        print!("{}", render::cost_figure(&cf, number));
+
+        // The paper's takeaway (§VI): cost follows performance, per-second
+        // billing is always cheaper, and the cheapest plan uses few nodes.
+        let cheapest = cf
+            .rows
+            .iter()
+            .min_by(|a, b| a.2.total_cmp(&b.2))
+            .expect("rows");
+        println!(
+            "  cheapest {} configuration: {} on {} node(s) at ${:.2}/run\n",
+            app.label(),
+            cheapest.0.label(),
+            cheapest.1,
+            cheapest.2
+        );
+    }
+}

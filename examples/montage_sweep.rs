@@ -1,0 +1,49 @@
+//! Fig-2-style sweep: the paper-scale Montage workflow (10,429 tasks)
+//! across every storage option and cluster size.
+//!
+//! ```text
+//! cargo run --release --example montage_sweep [-- tiny]
+//! ```
+//!
+//! Pass `tiny` to sweep a small same-shape instance instead (fast).
+
+use ec2_workflow_sim::expt::Cell;
+use ec2_workflow_sim::prelude::*;
+use ec2_workflow_sim::wfengine::run_workflow;
+use ec2_workflow_sim::wfgen::montage::{montage, MontageConfig};
+use ec2_workflow_sim::wfgen::App;
+
+fn main() {
+    let tiny = std::env::args().any(|a| a == "tiny");
+
+    if tiny {
+        // Small instance: run each cell inline to show the raw API.
+        let node_counts = [1u32, 2, 4, 8];
+        println!("{:<24} {:>6} {:>10}", "storage", "nodes", "makespan");
+        for storage in StorageKind::EVALUATED {
+            for n in node_counts {
+                if !Cell::new(App::Montage, storage, n).is_valid() {
+                    continue;
+                }
+                let wf = montage(MontageConfig::tiny());
+                let stats = run_workflow(wf, RunConfig::cell(storage, n)).expect("run");
+                println!("{:<24} {:>6} {:>9.1}s", storage.label(), n, stats.makespan_secs);
+            }
+        }
+        return;
+    }
+
+    // Paper scale: use the harness (cells run in parallel).
+    let fig = ec2_workflow_sim::expt::runtime_figure(App::Montage, 42);
+    println!(
+        "{}",
+        ec2_workflow_sim::expt::render::runtime_figure(&fig, 2)
+    );
+    // Highlight the paper's headline Montage findings.
+    let g2 = fig.makespan(StorageKind::GlusterNufa, 2).unwrap();
+    let s2 = fig.makespan(StorageKind::S3, 2).unwrap();
+    println!(
+        "GlusterFS(NUFA)@2 is {:.1}x faster than S3@2 — the paper's small-file story.",
+        s2 / g2
+    );
+}

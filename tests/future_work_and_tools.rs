@@ -1,0 +1,109 @@
+//! Integration tests for the beyond-paper tooling: the direct-transfer
+//! system (F1), horizontal clustering (A6), the interchange format, and
+//! the trace facilities — exercised through the public facade.
+
+use ec2_workflow_sim::wfdag::{cluster_horizontal, from_json, to_json};
+use ec2_workflow_sim::wfengine::{
+    jobstate_log, phase_breakdown, run_workflow, trace, RunConfig, SchedulerPolicy,
+};
+use ec2_workflow_sim::wfgen::App;
+use ec2_workflow_sim::wfstorage::StorageKind;
+
+#[test]
+fn direct_transfer_runs_all_apps_and_beats_nfs_for_broadband() {
+    let direct = run_workflow(
+        App::Broadband.paper_workflow(),
+        RunConfig::cell(StorageKind::DirectTransfer, 4),
+    )
+    .unwrap();
+    let nfs = run_workflow(
+        App::Broadband.paper_workflow(),
+        RunConfig::cell(StorageKind::Nfs, 4),
+    )
+    .unwrap();
+    assert!(
+        direct.makespan_secs < nfs.makespan_secs * 0.6,
+        "direct {} vs nfs {}",
+        direct.makespan_secs,
+        nfs.makespan_secs
+    );
+    for app in [App::Montage, App::Epigenome] {
+        let stats = run_workflow(app.tiny_workflow(), RunConfig::cell(StorageKind::DirectTransfer, 2))
+            .unwrap_or_else(|e| panic!("{app}: {e}"));
+        assert_eq!(stats.tasks, app.tiny_workflow().task_count());
+    }
+}
+
+#[test]
+fn data_aware_scheduling_synergizes_with_direct_transfer() {
+    // With replica tracking, the data-aware scheduler should never lose
+    // to the blind one on a reuse-heavy workload.
+    let blind = run_workflow(
+        App::Broadband.paper_workflow(),
+        RunConfig::cell(StorageKind::DirectTransfer, 4),
+    )
+    .unwrap();
+    let mut cfg = RunConfig::cell(StorageKind::DirectTransfer, 4);
+    cfg.scheduler = SchedulerPolicy::DataAware;
+    let aware = run_workflow(App::Broadband.paper_workflow(), cfg).unwrap();
+    assert!(
+        aware.makespan_secs <= blind.makespan_secs * 1.05,
+        "aware {} vs blind {}",
+        aware.makespan_secs,
+        blind.makespan_secs
+    );
+}
+
+#[test]
+fn clustered_montage_runs_and_preserves_products() {
+    use ec2_workflow_sim::wfgen::montage::{montage, MontageConfig};
+    let wf = montage(MontageConfig::tiny());
+    let clustered = cluster_horizontal(&wf, 6);
+    assert!(clustered.task_count() < wf.task_count());
+    let stats = run_workflow(clustered, RunConfig::cell(StorageKind::GlusterNufa, 2)).unwrap();
+    assert!(stats.makespan_secs > 0.0);
+}
+
+#[test]
+fn workflows_survive_export_import_execute() {
+    // Export → import → run must give the same makespan as running the
+    // original (the interchange format carries everything the engine
+    // reads).
+    let wf = App::Epigenome.tiny_workflow();
+    let back = from_json(&to_json(&wf)).unwrap();
+    let a = run_workflow(wf, RunConfig::cell(StorageKind::S3, 2)).unwrap();
+    let b = run_workflow(back, RunConfig::cell(StorageKind::S3, 2)).unwrap();
+    assert_eq!(a.makespan_secs.to_bits(), b.makespan_secs.to_bits());
+}
+
+#[test]
+fn traces_cover_every_task_of_a_real_run() {
+    let wf = App::Broadband.tiny_workflow();
+    let stats = run_workflow(wf.clone(), RunConfig::cell(StorageKind::GlusterNufa, 2)).unwrap();
+    let log = jobstate_log(&stats, &wf);
+    // SUBMIT / EXECUTE / JOB_TERMINATED per task.
+    assert_eq!(log.lines().count(), wf.task_count() * 3);
+    let p = phase_breakdown(&stats);
+    let slot_time: f64 = stats
+        .records
+        .iter()
+        .map(|r| r.end_at.since(r.start_at).as_secs_f64())
+        .sum();
+    assert!((p.total() - slot_time).abs() < 1e-6);
+    // The Gantt shows activity on both nodes.
+    let g = trace::render_gantt(&stats, 2, 60);
+    assert!(g.contains("node_0") && g.contains("node_1"));
+}
+
+#[test]
+fn resource_rows_name_the_expected_hardware() {
+    let stats = run_workflow(App::Epigenome.tiny_workflow(), RunConfig::cell(StorageKind::Nfs, 2)).unwrap();
+    let names: Vec<&str> = stats.resources.iter().map(|r| r.name.as_str()).collect();
+    for expected in ["w0.disk", "w0.nic.in", "srv.nic.out", "nfs.ops"] {
+        assert!(names.contains(&expected), "missing {expected} in {names:?}");
+    }
+    for r in &stats.resources {
+        assert!((0.0..=1.0).contains(&r.mean_utilization), "{r:?}");
+        assert!(r.busy_secs <= stats.makespan_secs * 1.001, "{r:?}");
+    }
+}

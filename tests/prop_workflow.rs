@@ -1,0 +1,162 @@
+//! Property-based integration tests: randomly generated workflows must
+//! validate correctly, run to completion on every storage system, and
+//! respect the simulator's conservation laws.
+
+use ec2_workflow_sim::wfdag::{FileId, Workflow, WorkflowBuilder, WorkflowError};
+use ec2_workflow_sim::wfengine::{run_workflow, RunConfig};
+use ec2_workflow_sim::wfgen::App;
+use ec2_workflow_sim::wfstorage::StorageKind;
+use proptest::prelude::*;
+
+/// A random layered DAG description: `layers[i]` tasks on layer i, each
+/// reading a random subset of the previous layer's outputs.
+#[derive(Debug, Clone)]
+struct GenDag {
+    layers: Vec<u8>,
+    fanin: u8,
+    file_kb: u32,
+    cpu_ds: u16, // deciseconds
+}
+
+fn gen_dag() -> impl Strategy<Value = GenDag> {
+    (
+        proptest::collection::vec(1u8..6, 1..5),
+        1u8..4,
+        1u32..5000,
+        1u16..300,
+    )
+        .prop_map(|(layers, fanin, file_kb, cpu_ds)| GenDag {
+            layers,
+            fanin,
+            file_kb,
+            cpu_ds,
+        })
+}
+
+fn build(dag: &GenDag) -> Workflow {
+    let mut b = WorkflowBuilder::new("random");
+    let mut prev_outputs: Vec<FileId> = Vec::new();
+    let mut uid = 0u32;
+    for (li, &width) in dag.layers.iter().enumerate() {
+        let mut outputs = Vec::new();
+        for t in 0..width {
+            let out = b.file(format!("f{li}_{t}"), u64::from(dag.file_kb) * 1000);
+            // Deterministic pseudo-random fan-in from the previous layer.
+            let inputs: Vec<FileId> = (0..dag.fanin)
+                .filter_map(|_k| {
+                    if prev_outputs.is_empty() {
+                        None
+                    } else {
+                        uid = uid.wrapping_mul(1664525).wrapping_add(1013904223);
+                        Some(prev_outputs[(uid as usize) % prev_outputs.len()])
+                    }
+                })
+                .collect();
+            let mut dedup = inputs.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            b.task(
+                format!("t{li}_{t}"),
+                format!("x{li}"),
+                f64::from(dag.cpu_ds) / 10.0,
+                256 << 20,
+                dedup,
+                vec![out],
+            );
+            outputs.push(out);
+        }
+        prev_outputs = outputs;
+    }
+    b.build().expect("layered DAGs are acyclic")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random layered workflows validate and expose consistent structure.
+    #[test]
+    fn random_dags_validate(dag in gen_dag()) {
+        let wf = build(&dag);
+        let total: u8 = dag.layers.iter().sum();
+        prop_assert_eq!(wf.task_count(), total as usize);
+        // Topological order is a permutation respecting dependencies.
+        let mut seen = vec![false; wf.task_count()];
+        for &t in wf.topo_order() {
+            for f in &wf.task(t).inputs {
+                if let Some(p) = wf.file(*f).producer {
+                    prop_assert!(seen[p.index()], "parent after child in topo order");
+                }
+            }
+            seen[t.index()] = true;
+        }
+        // Levels increase along edges.
+        for &t in wf.topo_order() {
+            for f in &wf.task(t).inputs {
+                if let Some(p) = wf.file(*f).producer {
+                    prop_assert!(wf.task(p).level < wf.task(t).level);
+                }
+            }
+        }
+    }
+
+    /// Every random workflow runs to completion on every storage system,
+    /// and the makespan dominates the compute critical path.
+    #[test]
+    fn random_workflows_complete_everywhere(dag in gen_dag()) {
+        let wf = build(&dag);
+        let cp = ec2_workflow_sim::wfdag::critical_path_secs(&wf);
+        for storage in [StorageKind::Nfs, StorageKind::GlusterDistribute, StorageKind::S3, StorageKind::Pvfs] {
+            let stats = run_workflow(wf.clone(), RunConfig::cell(storage, 2))
+                .unwrap_or_else(|e| panic!("{storage:?}: {e}"));
+            prop_assert_eq!(stats.tasks, wf.task_count());
+            prop_assert!(stats.makespan_secs >= cp, "{:?}: {} < {}", storage, stats.makespan_secs, cp);
+        }
+    }
+
+    /// Identical configs are bit-deterministic on random workflows.
+    #[test]
+    fn random_workflows_are_deterministic(dag in gen_dag(), seed in 0u64..1000) {
+        let run = || {
+            let cfg = RunConfig::cell(StorageKind::GlusterNufa, 2).with_seed(seed);
+            run_workflow(build(&dag), cfg).expect("runs")
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.makespan_secs.to_bits(), b.makespan_secs.to_bits());
+        prop_assert_eq!(a.events, b.events);
+    }
+
+    /// Duplicate producers are always rejected, wherever they appear.
+    #[test]
+    fn double_producers_rejected(n in 2u8..20) {
+        let mut b = WorkflowBuilder::new("dup");
+        let f = b.file("shared", 10);
+        for i in 0..n {
+            b.task(format!("t{i}"), "x", 1.0, 0, vec![], vec![f]);
+        }
+        let rejected = matches!(b.build(), Err(WorkflowError::MultipleProducers { .. }));
+        prop_assert!(rejected);
+    }
+}
+
+#[test]
+fn generator_workflows_satisfy_invariants() {
+    // The three paper generators are just special cases of the same
+    // invariants the property tests check.
+    for app in App::ALL {
+        let wf = app.paper_workflow();
+        for &t in wf.topo_order() {
+            for f in &wf.task(t).inputs {
+                if let Some(p) = wf.file(*f).producer {
+                    assert!(wf.task(p).level < wf.task(t).level, "{app}");
+                }
+            }
+        }
+        // Every file has at most one producer by construction; workflow
+        // inputs have none.
+        for f in wf.files() {
+            if f.class == ec2_workflow_sim::wfdag::FileClass::Input {
+                assert!(f.producer.is_none(), "{app}");
+            }
+        }
+    }
+}
