@@ -13,11 +13,17 @@ fn bench(c: &mut Criterion) {
 
     c.bench_function("ablations/tiny_s3_cache_on_vs_off", |b| {
         b.iter(|| {
-            let on = run_workflow(App::Broadband.tiny_workflow(), RunConfig::cell(StorageKind::S3, 2))
-                .expect("on");
+            let on = run_workflow(
+                App::Broadband.tiny_workflow(),
+                RunConfig::cell(StorageKind::S3, 2),
+            )
+            .expect("on");
             let mut cfg = RunConfig::cell(StorageKind::S3, 2);
             cfg.storage_cfgs = StorageConfigs {
-                s3: Some(S3Config { client_cache: false, ..S3Config::default() }),
+                s3: Some(S3Config {
+                    client_cache: false,
+                    ..S3Config::default()
+                }),
                 ..StorageConfigs::default()
             };
             let off = run_workflow(App::Broadband.tiny_workflow(), cfg).expect("off");
@@ -28,7 +34,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut cfg = RunConfig::cell(StorageKind::GlusterNufa, 2);
             cfg.scheduler = SchedulerPolicy::DataAware;
-            black_box(run_workflow(App::Broadband.tiny_workflow(), cfg).expect("run").makespan_secs)
+            black_box(
+                run_workflow(App::Broadband.tiny_workflow(), cfg)
+                    .expect("run")
+                    .makespan_secs,
+            )
         })
     });
 }

@@ -12,7 +12,10 @@ use wfstorage::StorageKind;
 
 fn bench(c: &mut Criterion) {
     let fig = expt::runtime_figure(App::Montage, 42);
-    println!("\n{}", expt::render::cost_figure(&expt::cost_figure(&fig), 5));
+    println!(
+        "\n{}",
+        expt::render::cost_figure(&expt::cost_figure(&fig), 5)
+    );
 
     c.bench_function("fig5/montage_tiny_simulate_and_bill", |b| {
         b.iter(|| {

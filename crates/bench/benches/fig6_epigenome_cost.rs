@@ -12,7 +12,10 @@ use wfstorage::StorageKind;
 
 fn bench(c: &mut Criterion) {
     let fig = expt::runtime_figure(App::Epigenome, 42);
-    println!("\n{}", expt::render::cost_figure(&expt::cost_figure(&fig), 6));
+    println!(
+        "\n{}",
+        expt::render::cost_figure(&expt::cost_figure(&fig), 6)
+    );
 
     c.bench_function("fig6/epigenome_tiny_simulate_and_bill", |b| {
         b.iter(|| {

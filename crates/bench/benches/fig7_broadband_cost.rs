@@ -12,7 +12,10 @@ use wfstorage::StorageKind;
 
 fn bench(c: &mut Criterion) {
     let fig = expt::runtime_figure(App::Broadband, 42);
-    println!("\n{}", expt::render::cost_figure(&expt::cost_figure(&fig), 7));
+    println!(
+        "\n{}",
+        expt::render::cost_figure(&expt::cost_figure(&fig), 7)
+    );
 
     c.bench_function("fig7/broadband_tiny_simulate_and_bill", |b| {
         b.iter(|| {

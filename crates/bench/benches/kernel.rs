@@ -2,8 +2,9 @@
 //! rate recomputation, workflow generation and validation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use expt::perf::{drive_incremental, drive_naive, montage_scale_workload};
 use simcore::{FlowSpec, Sim, SimTime};
+use std::hint::black_box;
 use wfgen::montage::{montage, MontageConfig};
 
 fn event_calendar(c: &mut Criterion) {
@@ -26,7 +27,9 @@ fn fluid_flows(c: &mut Criterion) {
     c.bench_function("kernel/flows_64_concurrent_over_8_resources", |b| {
         b.iter(|| {
             let mut sim: Sim<()> = Sim::new();
-            let res: Vec<_> = (0..8).map(|i| sim.add_resource(format!("r{i}"), 1e8)).collect();
+            let res: Vec<_> = (0..8)
+                .map(|i| sim.add_resource(format!("r{i}"), 1e8))
+                .collect();
             for i in 0..512u64 {
                 let path = vec![res[(i % 8) as usize], res[((i / 8) % 8) as usize]];
                 sim.schedule_at(SimTime::from_nanos(i * 1_000_000), move |s, _| {
@@ -49,5 +52,26 @@ fn generators(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, event_calendar, fluid_flows, generators);
+/// Montage-scale before/after: ~20k staggered transfers over 64 shared
+/// resources (see `expt::perf` for the workload), through both the
+/// incremental engine and the preserved O(F²) reference solver.
+fn montage_scale(c: &mut Criterion) {
+    let w = montage_scale_workload(20_000);
+    // The engines must tell the same story before their speeds are compared.
+    assert_eq!(drive_incremental(&w), drive_naive(&w));
+    c.bench_function("kernel/montage_scale_20k_flows_64res_incremental", |b| {
+        b.iter(|| black_box(drive_incremental(&w)))
+    });
+    c.bench_function("kernel/montage_scale_20k_flows_64res_naive", |b| {
+        b.iter(|| black_box(drive_naive(&w)))
+    });
+}
+
+criterion_group!(
+    benches,
+    event_calendar,
+    fluid_flows,
+    generators,
+    montage_scale
+);
 criterion_main!(benches);

@@ -13,15 +13,13 @@ use wfstorage::StorageKind;
 /// Run one small same-shape instance of `app` — fast enough for a
 /// Criterion measurement loop.
 pub fn run_tiny(app: App, storage: StorageKind, workers: u32) -> RunStats {
-    run_workflow(app.tiny_workflow(), RunConfig::cell(storage, workers))
-        .expect("tiny cell runs")
+    run_workflow(app.tiny_workflow(), RunConfig::cell(storage, workers)).expect("tiny cell runs")
 }
 
 /// Run one paper-scale cell (used to print figure rows, and measured for
 /// the cheaper applications).
 pub fn run_paper(app: App, storage: StorageKind, workers: u32) -> RunStats {
-    run_workflow(app.paper_workflow(), RunConfig::cell(storage, workers))
-        .expect("paper cell runs")
+    run_workflow(app.paper_workflow(), RunConfig::cell(storage, workers)).expect("paper cell runs")
 }
 
 /// Criterion defaults for simulation-sized benchmarks.

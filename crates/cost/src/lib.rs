@@ -146,7 +146,11 @@ impl CostModel {
     }
 
     /// The full breakdown for a run.
-    pub fn workflow_cost(self, usage: &UsageReport, granularity: BillingGranularity) -> CostBreakdown {
+    pub fn workflow_cost(
+        self,
+        usage: &UsageReport,
+        granularity: BillingGranularity,
+    ) -> CostBreakdown {
         let resource_cents = usage
             .instances
             .iter()
@@ -190,7 +194,11 @@ mod tests {
     #[test]
     fn per_second_is_exact() {
         let m = CostModel::default();
-        let c = m.instance_cents(InstanceType::C1Xlarge, 1800.0, BillingGranularity::PerSecond);
+        let c = m.instance_cents(
+            InstanceType::C1Xlarge,
+            1800.0,
+            BillingGranularity::PerSecond,
+        );
         assert!((c - 34.0).abs() < 1e-9);
     }
 

@@ -60,12 +60,22 @@ pub struct StagingEstimate {
 }
 
 /// Estimate moving `bytes` across `files` into the cloud.
-pub fn stage_in(bytes: u64, files: u64, link: &WanLink, pricing: &TransferPricing) -> StagingEstimate {
+pub fn stage_in(
+    bytes: u64,
+    files: u64,
+    link: &WanLink,
+    pricing: &TransferPricing,
+) -> StagingEstimate {
     estimate(bytes, files, link, pricing.in_cents_per_gb)
 }
 
 /// Estimate moving `bytes` across `files` out of the cloud.
-pub fn stage_out(bytes: u64, files: u64, link: &WanLink, pricing: &TransferPricing) -> StagingEstimate {
+pub fn stage_out(
+    bytes: u64,
+    files: u64,
+    link: &WanLink,
+    pricing: &TransferPricing,
+) -> StagingEstimate {
     estimate(bytes, files, link, pricing.out_cents_per_gb)
 }
 
@@ -109,7 +119,10 @@ mod tests {
         let few_big = stage_in(1_000_000_000, 10, &link, &p);
         let many_small = stage_in(1_000_000_000, 10_000, &link, &p);
         assert!(many_small.secs > few_big.secs * 10.0);
-        assert!((many_small.cents - few_big.cents).abs() < 1e-9, "cost is per byte");
+        assert!(
+            (many_small.cents - few_big.cents).abs() < 1e-9,
+            "cost is per byte"
+        );
     }
 
     #[test]

@@ -78,7 +78,10 @@ fn dispatch(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: us
 /// The task's POSIX operation storm, charged to storage systems with a
 /// central per-op bottleneck (NFS).
 fn job_ops(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: usize) {
-    world.records[task.index()].as_mut().expect("record").ops_start = sim.now();
+    world.records[task.index()]
+        .as_mut()
+        .expect("record")
+        .ops_start = sim.now();
     let node = world.cluster.workers()[worker_ix];
     let io_ops = world.wf.task(task).io_ops;
     let plan = world.storage.plan_task_ops(&world.cluster, node, io_ops);
@@ -91,7 +94,10 @@ fn job_ops(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: usi
 }
 
 fn job_stage_in(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: usize) {
-    world.records[task.index()].as_mut().expect("record").stage_in_start = sim.now();
+    world.records[task.index()]
+        .as_mut()
+        .expect("record")
+        .stage_in_start = sim.now();
     let node = world.cluster.workers()[worker_ix];
     let inputs = world.task_inputs(task);
     let plan = world.storage.plan_stage_in(&world.cluster, node, &inputs);
@@ -105,7 +111,10 @@ fn job_stage_in(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix
 
 fn job_read(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: usize, idx: usize) {
     if idx == 0 {
-        world.records[task.index()].as_mut().expect("record").reads_start = sim.now();
+        world.records[task.index()]
+            .as_mut()
+            .expect("record")
+            .reads_start = sim.now();
     }
     let inputs = world.task_inputs(task);
     if idx >= inputs.len() {
@@ -126,9 +135,15 @@ fn job_compute(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix:
     let node = world.cluster.workers()[worker_ix];
     let speed = world.cluster.node(node).itype.core_speed();
     let dur = SimDuration::from_secs_f64(world.wf.task(task).cpu_secs / speed);
-    world.records[task.index()].as_mut().expect("record").compute_start = sim.now();
+    world.records[task.index()]
+        .as_mut()
+        .expect("record")
+        .compute_start = sim.now();
     sim.schedule_in(dur, move |sim, world| {
-        world.records[task.index()].as_mut().expect("record").compute_end = sim.now();
+        world.records[task.index()]
+            .as_mut()
+            .expect("record")
+            .compute_end = sim.now();
         // Transient-failure injection (before any output is written, so
         // the write-once discipline survives the retry).
         if let Some(fm) = world.cfg.failures {
@@ -151,7 +166,10 @@ fn job_compute(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix:
                 return;
             }
         } else {
-            world.records[task.index()].as_mut().expect("record").attempts += 1;
+            world.records[task.index()]
+                .as_mut()
+                .expect("record")
+                .attempts += 1;
         }
         job_write(sim, world, task, worker_ix, 0);
     });
@@ -174,7 +192,10 @@ fn job_write(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: u
 }
 
 fn job_stage_out(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: usize) {
-    world.records[task.index()].as_mut().expect("record").stage_out_start = sim.now();
+    world.records[task.index()]
+        .as_mut()
+        .expect("record")
+        .stage_out_start = sim.now();
     let node = world.cluster.workers()[worker_ix];
     let outputs = world.task_outputs(task);
     let plan = world.storage.plan_stage_out(&world.cluster, node, &outputs);

@@ -48,7 +48,10 @@ fn exec_stage(sim: &mut Sim<World>, stage: Stage, done: Cont) {
             sim.start_flow(leg.to_spec(), move |sim, world| {
                 remaining.set(remaining.get() - 1);
                 if remaining.get() == 0 {
-                    let d = done_slot.borrow_mut().take().expect("continuation fired twice");
+                    let d = done_slot
+                        .borrow_mut()
+                        .take()
+                        .expect("continuation fired twice");
                     d(sim, world);
                 }
             });

@@ -35,12 +35,21 @@ mod tests {
         ))
         .then(Stage::latency(SimDuration::from_secs(2)));
         sim.schedule_at(SimTime::ZERO, move |sim, w| {
-            exec_plan(sim, w, plan, Box::new(|sim, _| {
-                assert!((sim.now().as_secs_f64() - 4.0).abs() < 1e-9);
-            }));
+            exec_plan(
+                sim,
+                w,
+                plan,
+                Box::new(|sim, _| {
+                    assert!((sim.now().as_secs_f64() - 4.0).abs() < 1e-9);
+                }),
+            );
         });
         sim.run(&mut w);
-        assert!((sim.now().as_secs_f64() - 4.0).abs() < 1e-9, "{}", sim.now());
+        assert!(
+            (sim.now().as_secs_f64() - 4.0).abs() < 1e-9,
+            "{}",
+            sim.now()
+        );
     }
 
     #[test]
@@ -57,7 +66,11 @@ mod tests {
             exec_plan(sim, w, plan, Box::new(|_, _| {}));
         });
         sim.run(&mut w);
-        assert!((sim.now().as_secs_f64() - 2.0).abs() < 1e-9, "{}", sim.now());
+        assert!(
+            (sim.now().as_secs_f64() - 2.0).abs() < 1e-9,
+            "{}",
+            sim.now()
+        );
     }
 
     #[test]
@@ -65,9 +78,14 @@ mod tests {
         let mut sim: Sim<World> = Sim::new();
         let mut w = world(&mut sim);
         sim.schedule_at(SimTime::from_secs_f64(5.0), move |sim, w| {
-            exec_plan(sim, w, OpPlan::empty(), Box::new(|sim, _| {
-                assert!((sim.now().as_secs_f64() - 5.0).abs() < 1e-12);
-            }));
+            exec_plan(
+                sim,
+                w,
+                OpPlan::empty(),
+                Box::new(|sim, _| {
+                    assert!((sim.now().as_secs_f64() - 5.0).abs() < 1e-12);
+                }),
+            );
         });
         sim.run(&mut w);
         assert!((sim.now().as_secs_f64() - 5.0).abs() < 1e-9);
@@ -93,7 +111,11 @@ mod tests {
             exec_plan(sim, w, p2, Box::new(|_, _| {}));
         });
         sim.run(&mut w);
-        assert!((sim.now().as_secs_f64() - 2.0).abs() < 1e-9, "{}", sim.now());
+        assert!(
+            (sim.now().as_secs_f64() - 2.0).abs() < 1e-9,
+            "{}",
+            sim.now()
+        );
         assert!(!w.bg_active);
         assert!(w.bg_queue.is_empty());
     }
@@ -103,19 +125,29 @@ mod tests {
         let mut sim: Sim<World> = Sim::new();
         let mut w = world(&mut sim);
         let r = sim.add_resource("flush.r", 1.0); // very slow flush: 100 s
-        let plan = OpPlan::one(Stage::latency(SimDuration::from_secs(1))).with_background(
-            Stage::leg(FlowLeg::new(100, vec![r])),
-            None,
-        );
+        let plan = OpPlan::one(Stage::latency(SimDuration::from_secs(1)))
+            .with_background(Stage::leg(FlowLeg::new(100, vec![r])), None);
         let done_at = std::rc::Rc::new(std::cell::Cell::new(0.0f64));
         let done_at2 = done_at.clone();
         sim.schedule_at(SimTime::ZERO, move |sim, w| {
-            exec_plan(sim, w, plan, Box::new(move |sim, _| {
-                done_at2.set(sim.now().as_secs_f64());
-            }));
+            exec_plan(
+                sim,
+                w,
+                plan,
+                Box::new(move |sim, _| {
+                    done_at2.set(sim.now().as_secs_f64());
+                }),
+            );
         });
         sim.run(&mut w);
-        assert!((done_at.get() - 1.0).abs() < 1e-9, "foreground done at {}", done_at.get());
-        assert!((sim.now().as_secs_f64() - 100.0).abs() < 1e-6, "flush drains later");
+        assert!(
+            (done_at.get() - 1.0).abs() < 1e-9,
+            "foreground done at {}",
+            done_at.get()
+        );
+        assert!(
+            (sim.now().as_secs_f64() - 100.0).abs() < 1e-6,
+            "flush drains later"
+        );
     }
 }

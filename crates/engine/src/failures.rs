@@ -30,7 +30,10 @@ mod tests {
         });
         let stats = run_workflow(chain(20), cfg).unwrap();
         assert_eq!(stats.tasks, 20, "all tasks complete despite failures");
-        assert!(stats.retries > 0, "with p=0.3 over 20 tasks some retries occur");
+        assert!(
+            stats.retries > 0,
+            "with p=0.3 over 20 tasks some retries occur"
+        );
         // Retried tasks report attempts > 1.
         assert!(stats.records.iter().any(|r| r.attempts > 1));
     }
@@ -72,7 +75,10 @@ mod tests {
             max_retries: 3,
         });
         let with_model = run_workflow(chain(10), cfg).unwrap();
-        assert_eq!(clean.makespan_secs.to_bits(), with_model.makespan_secs.to_bits());
+        assert_eq!(
+            clean.makespan_secs.to_bits(),
+            with_model.makespan_secs.to_bits()
+        );
         assert_eq!(with_model.retries, 0);
         assert!(with_model.records.iter().all(|r| r.attempts == 1));
     }

@@ -72,8 +72,16 @@ mod tests {
             assert!(stats.makespan_secs > 0.0, "{kind:?}");
             // Compute alone is 2+max(3,3)+1 = 6 s on the critical path,
             // plus I/O and overhead.
-            assert!(stats.makespan_secs >= 6.0, "{kind:?}: {}", stats.makespan_secs);
-            assert!(stats.makespan_secs < 600.0, "{kind:?}: {}", stats.makespan_secs);
+            assert!(
+                stats.makespan_secs >= 6.0,
+                "{kind:?}: {}",
+                stats.makespan_secs
+            );
+            assert!(
+                stats.makespan_secs < 600.0,
+                "{kind:?}: {}",
+                stats.makespan_secs
+            );
         }
     }
 
@@ -108,7 +116,8 @@ mod tests {
         let mut b = WorkflowBuilder::new("huge");
         let f = b.file("o", 10);
         b.task("t", "huge", 1.0, 64 << 30, vec![], vec![f]);
-        let err = run_workflow(b.build().unwrap(), RunConfig::cell(StorageKind::Nfs, 1)).unwrap_err();
+        let err =
+            run_workflow(b.build().unwrap(), RunConfig::cell(StorageKind::Nfs, 1)).unwrap_err();
         assert!(matches!(err, RunError::TaskTooLarge { .. }));
     }
 
@@ -116,7 +125,11 @@ mod tests {
     fn io_fraction_reflects_workload() {
         // A compute-heavy diamond should have a low I/O fraction.
         let stats = run_workflow(diamond(1), RunConfig::cell(StorageKind::GlusterNufa, 2)).unwrap();
-        assert!(stats.io_fraction() < 0.5, "io_fraction={}", stats.io_fraction());
+        assert!(
+            stats.io_fraction() < 0.5,
+            "io_fraction={}",
+            stats.io_fraction()
+        );
         assert!(stats.total_cpu_secs >= 8.9, "{}", stats.total_cpu_secs);
     }
 

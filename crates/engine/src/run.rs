@@ -3,10 +3,10 @@
 use crate::config::RunConfig;
 use crate::driver::{makespan, start_run};
 use crate::world::{TaskRecord, World};
+use serde::{Deserialize, Serialize};
 use simcore::{Sim, SimTime};
 use vcluster::Cluster;
 use wfdag::Workflow;
-use serde::{Deserialize, Serialize};
 use wfstorage::{build_storage, cluster_spec_for, StorageBilling, StorageOpStats};
 
 /// What a run produced.
@@ -120,7 +120,9 @@ pub fn run_workflow(workflow: Workflow, cfg: RunConfig) -> Result<RunStats, RunE
     // Feasibility: every task must fit in some worker's usable memory.
     let usable = (cluster.node(cluster.workers()[0]).memory_bytes() as f64 * 0.9) as u64;
     if let Some(t) = workflow.tasks().iter().find(|t| t.peak_mem > usable) {
-        return Err(RunError::TaskTooLarge { task: t.name.clone() });
+        return Err(RunError::TaskTooLarge {
+            task: t.name.clone(),
+        });
     }
 
     let storage = build_storage(cfg.storage, &mut sim, &cluster, &cfg.storage_cfgs);

@@ -30,7 +30,13 @@ pub struct PhaseBreakdown {
 impl PhaseBreakdown {
     /// Total slot-seconds.
     pub fn total(&self) -> f64 {
-        self.overhead + self.ops + self.stage_in + self.read + self.compute + self.write + self.stage_out
+        self.overhead
+            + self.ops
+            + self.stage_in
+            + self.read
+            + self.compute
+            + self.write
+            + self.stage_out
     }
 
     /// The I/O share (everything but compute and dispatch overhead).
@@ -93,7 +99,10 @@ pub fn jobstate_log(stats: &RunStats, wf: &Workflow) -> String {
         ));
         events.push((
             r.compute_start.as_nanos(),
-            format!("{:.3} {name} EXECUTE node_{node}", r.compute_start.as_secs_f64()),
+            format!(
+                "{:.3} {name} EXECUTE node_{node}",
+                r.compute_start.as_secs_f64()
+            ),
         ));
         events.push((
             r.end_at.as_nanos(),
@@ -195,7 +204,11 @@ mod tests {
             .iter()
             .map(|r| r.end_at.since(r.start_at).as_secs_f64())
             .sum();
-        assert!((p.total() - slot_time).abs() < 1e-6, "{} vs {slot_time}", p.total());
+        assert!(
+            (p.total() - slot_time).abs() < 1e-6,
+            "{} vs {slot_time}",
+            p.total()
+        );
         assert!(p.compute >= 8.0 - 1e-6);
         assert!(p.stage_in > 0.0, "S3 runs must stage in");
         assert!((0.0..=1.0).contains(&p.io_fraction()));

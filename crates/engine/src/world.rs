@@ -49,7 +49,8 @@ impl TaskRecord {
     /// Wall time spent in I/O phases (stage-in, reads, writes, stage-out,
     /// plus workflow-management overhead before the compute phase).
     pub fn io_secs(&self) -> f64 {
-        (self.compute_start.since(self.start_at) + self.end_at.since(self.compute_end)).as_secs_f64()
+        (self.compute_start.since(self.start_at) + self.end_at.since(self.compute_end))
+            .as_secs_f64()
     }
 
     /// Wall time of the compute phase.
@@ -130,7 +131,12 @@ pub struct World {
 
 impl World {
     /// Assemble a world over a provisioned cluster and storage system.
-    pub fn new(wf: Workflow, cluster: Cluster, storage: Box<dyn StorageSystem>, cfg: RunConfig) -> Self {
+    pub fn new(
+        wf: Workflow,
+        cluster: Cluster,
+        storage: Box<dyn StorageSystem>,
+        cfg: RunConfig,
+    ) -> Self {
         let n = wf.task_count();
         let pending_parents = (0..n).map(|i| wf.parent_count(TaskId(i as u32))).collect();
         let node_sched = cluster

@@ -47,13 +47,7 @@ pub struct Ablations {
     pub rows: Vec<AblationRow>,
 }
 
-fn pair(
-    id: &str,
-    description: &str,
-    app: App,
-    base: RunConfig,
-    variant: RunConfig,
-) -> AblationRow {
+fn pair(id: &str, description: &str, app: App, base: RunConfig, variant: RunConfig) -> AblationRow {
     let (b, v) = rayon::join(
         || run_cell_with(app, base).expect("baseline"),
         || run_cell_with(app, variant).expect("variant"),

@@ -57,7 +57,10 @@ pub fn speedup_table(fig: &RuntimeFigure) -> Vec<SpeedupRow> {
 pub fn render_speedup(app: App, rows: &[SpeedupRow]) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
-    let _ = writeln!(s, "SPEEDUP — {app}: scaling relative to each option's smallest cluster");
+    let _ = writeln!(
+        s,
+        "SPEEDUP — {app}: scaling relative to each option's smallest cluster"
+    );
     for r in rows {
         let _ = writeln!(
             s,

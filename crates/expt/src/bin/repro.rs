@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p expt --bin repro [-- --seed N] [--skip-ablations]
+//! cargo run --release -p expt --bin repro -- --bench-smoke   # BENCH.json
 //! ```
 //!
 //! Prints Table I, the §III.C disk microbenchmark, Figs 2–7, the XtreemFS
@@ -24,6 +25,20 @@ fn main() {
         .unwrap_or(42u64);
     let skip_ablations = args.iter().any(|a| a == "--skip-ablations");
 
+    if args.iter().any(|a| a == "--bench-smoke") {
+        // Quick kernel perf smoke: time the incremental engine against the
+        // preserved reference solver and record the result in BENCH.json.
+        let smoke = expt::perf::bench_smoke(20_000);
+        print!("{}", expt::perf::render(&smoke));
+        std::fs::write(
+            "BENCH.json",
+            serde_json::to_string_pretty(&smoke).expect("serialise bench smoke"),
+        )
+        .expect("write BENCH.json");
+        println!("written to BENCH.json");
+        return;
+    }
+
     let t0 = Instant::now();
     println!("Reproducing Juve et al., SC 2010 (seed {seed})\n");
 
@@ -36,7 +51,11 @@ fn main() {
     println!();
 
     let mut figs = Vec::new();
-    for (app, number) in [(App::Montage, 2u32), (App::Epigenome, 3), (App::Broadband, 4)] {
+    for (app, number) in [
+        (App::Montage, 2u32),
+        (App::Epigenome, 3),
+        (App::Broadband, 4),
+    ] {
         let t = Instant::now();
         let fig = runtime_figure(app, seed);
         print!("{}", render::runtime_figure(&fig, number));
@@ -86,7 +105,10 @@ fn main() {
     };
 
     for fig in &figs {
-        print!("{}", analysis::render_speedup(fig.app, &analysis::speedup_table(fig)));
+        print!(
+            "{}",
+            analysis::render_speedup(fig.app, &analysis::speedup_table(fig))
+        );
         println!();
     }
 
@@ -125,7 +147,10 @@ fn main() {
             );
         }
         println!();
-        print!("{}", analysis::bottleneck_report(wfgen::App::Broadband, expt::StorageKind::Nfs, 4, seed));
+        print!(
+            "{}",
+            analysis::bottleneck_report(wfgen::App::Broadband, expt::StorageKind::Nfs, 4, seed)
+        );
         println!();
     }
 
@@ -135,8 +160,11 @@ fn main() {
     let (passed, total) = report.score();
     std::fs::create_dir_all("reports").expect("create reports/");
     let path = format!("reports/repro-{seed}.json");
-    std::fs::write(&path, serde_json::to_string_pretty(&report).expect("serialise report"))
-        .expect("write report");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serialise report"),
+    )
+    .expect("write report");
     for fig in &report.runtime_figures {
         let label = fig.app.label().to_lowercase();
         std::fs::write(
@@ -147,8 +175,11 @@ fn main() {
     }
     for cf in &report.cost_figures {
         let label = cf.app.label().to_lowercase();
-        std::fs::write(format!("reports/cost-{label}-{seed}.csv"), render::cost_csv(cf))
-            .expect("write cost csv");
+        std::fs::write(
+            format!("reports/cost-{label}-{seed}.csv"),
+            render::cost_csv(cf),
+        )
+        .expect("write cost csv");
     }
     println!("\n{passed}/{total} shape checks passed; full dataset written to {path}");
     println!("total wall time {:.1?}", t0.elapsed());

@@ -39,7 +39,9 @@ fn parse_app(s: &str) -> App {
         "montage" => App::Montage,
         "broadband" => App::Broadband,
         "epigenome" => App::Epigenome,
-        other => die(&format!("unknown app {other:?} (montage|broadband|epigenome)")),
+        other => die(&format!(
+            "unknown app {other:?} (montage|broadband|epigenome)"
+        )),
     }
 }
 
@@ -82,14 +84,20 @@ fn load_workflow(args: &Args) -> Workflow {
             .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
         return wfdag::from_json(&json).unwrap_or_else(|e| die(&format!("bad workflow: {e}")));
     }
-    let app = parse_app(args.opts.get("app").unwrap_or_else(|| die("--app or --dax required")));
+    let app = parse_app(
+        args.opts
+            .get("app")
+            .unwrap_or_else(|| die("--app or --dax required")),
+    );
     let mut wf = if args.flags.iter().any(|f| f == "tiny") {
         app.tiny_workflow()
     } else {
         app.paper_workflow()
     };
     if let Some(k) = args.opts.get("cluster") {
-        let k: u32 = k.parse().unwrap_or_else(|_| die("--cluster must be a number"));
+        let k: u32 = k
+            .parse()
+            .unwrap_or_else(|_| die("--cluster must be a number"));
         wf = cluster_horizontal(&wf, k);
     }
     wf
@@ -104,7 +112,9 @@ fn build_config(args: &Args) -> RunConfig {
         .unwrap_or_else(|_| die("--workers must be a number"));
     let mut cfg = RunConfig::cell(storage, workers);
     if let Some(seed) = args.opts.get("seed") {
-        cfg.seed = seed.parse().unwrap_or_else(|_| die("--seed must be a number"));
+        cfg.seed = seed
+            .parse()
+            .unwrap_or_else(|_| die("--seed must be a number"));
     }
     if args.flags.iter().any(|f| f == "data-aware") {
         cfg.scheduler = SchedulerPolicy::DataAware;
@@ -113,7 +123,9 @@ fn build_config(args: &Args) -> RunConfig {
         cfg.initialize_disks = true;
     }
     if let Some(p) = args.opts.get("failures") {
-        let prob: f64 = p.parse().unwrap_or_else(|_| die("--failures must be a probability"));
+        let prob: f64 = p
+            .parse()
+            .unwrap_or_else(|_| die("--failures must be a probability"));
         let max_retries: u32 = args
             .opts
             .get("retries")
@@ -161,7 +173,11 @@ fn cmd_run(args: &Args) {
 }
 
 fn cmd_sweep(args: &Args) {
-    let app = parse_app(args.opts.get("app").unwrap_or_else(|| die("--app required")));
+    let app = parse_app(
+        args.opts
+            .get("app")
+            .unwrap_or_else(|| die("--app required")),
+    );
     let seed = args
         .opts
         .get("seed")
@@ -174,9 +190,17 @@ fn cmd_sweep(args: &Args) {
                 if !expt::Cell::new(app, storage, n).is_valid() {
                     continue;
                 }
-                let stats = run_workflow(app.tiny_workflow(), RunConfig::cell(storage, n).with_seed(seed))
-                    .unwrap_or_else(|e| die(&format!("{storage:?}@{n}: {e}")));
-                println!("{:<24} {:>6} {:>9.1}s", storage.label(), n, stats.makespan_secs);
+                let stats = run_workflow(
+                    app.tiny_workflow(),
+                    RunConfig::cell(storage, n).with_seed(seed),
+                )
+                .unwrap_or_else(|e| die(&format!("{storage:?}@{n}: {e}")));
+                println!(
+                    "{:<24} {:>6} {:>9.1}s",
+                    storage.label(),
+                    n,
+                    stats.makespan_secs
+                );
             }
         }
         return;
@@ -188,11 +212,18 @@ fn cmd_sweep(args: &Args) {
         App::Broadband => 4,
     };
     print!("{}", expt::render::runtime_figure(&fig, number));
-    print!("{}", expt::analysis::render_speedup(app, &expt::analysis::speedup_table(&fig)));
+    print!(
+        "{}",
+        expt::analysis::render_speedup(app, &expt::analysis::speedup_table(&fig))
+    );
 }
 
 fn cmd_profile(args: &Args) {
-    let app = parse_app(args.opts.get("app").unwrap_or_else(|| die("--app required")));
+    let app = parse_app(
+        args.opts
+            .get("app")
+            .unwrap_or_else(|| die("--app required")),
+    );
     let p = profile(&app.paper_workflow());
     let u = classify(&p);
     println!("{app}:");
@@ -201,25 +232,43 @@ fn cmd_profile(args: &Args) {
     println!("  bytes / cpu-second  {:>14.0}", p.io_bytes_per_cpu_sec);
     println!("  cpu-time fraction   {:>14.2}", p.cpu_time_fraction);
     println!("  cpu share >1 GiB    {:>14.2}", p.cpu_frac_over_1gib);
-    println!("  grades              io={} memory={} cpu={}", u.io, u.memory, u.cpu);
+    println!(
+        "  grades              io={} memory={} cpu={}",
+        u.io, u.memory, u.cpu
+    );
 }
 
 fn cmd_export(args: &Args) {
     let wf = load_workflow(args);
-    let out = args.opts.get("out").unwrap_or_else(|| die("--out required"));
-    std::fs::write(out, wfdag::to_json(&wf)).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
-    println!("{} tasks / {} files written to {out}", wf.task_count(), wf.file_count());
+    let out = args
+        .opts
+        .get("out")
+        .unwrap_or_else(|| die("--out required"));
+    std::fs::write(out, wfdag::to_json(&wf))
+        .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    println!(
+        "{} tasks / {} files written to {out}",
+        wf.task_count(),
+        wf.file_count()
+    );
 }
 
 fn cmd_bottleneck(args: &Args) {
-    let app = parse_app(args.opts.get("app").unwrap_or_else(|| die("--app required")));
+    let app = parse_app(
+        args.opts
+            .get("app")
+            .unwrap_or_else(|| die("--app required")),
+    );
     let storage = parse_storage(args.opts.get("storage").map_or("nfs", |s| s));
     let workers: u32 = args
         .opts
         .get("workers")
         .map_or(Ok(4), |w| w.parse())
         .unwrap_or_else(|_| die("--workers must be a number"));
-    print!("{}", expt::analysis::bottleneck_report(app, storage, workers, 42));
+    print!(
+        "{}",
+        expt::analysis::bottleneck_report(app, storage, workers, 42)
+    );
 }
 
 fn main() {

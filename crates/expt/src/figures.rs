@@ -142,10 +142,19 @@ mod tests {
         let t = table1();
         let by_app = |a: App| t.rows.iter().find(|(x, _)| *x == a).unwrap().1;
         let m = by_app(App::Montage);
-        assert_eq!((m.io, m.memory, m.cpu), (Grade::High, Grade::Low, Grade::Low));
+        assert_eq!(
+            (m.io, m.memory, m.cpu),
+            (Grade::High, Grade::Low, Grade::Low)
+        );
         let b = by_app(App::Broadband);
-        assert_eq!((b.io, b.memory, b.cpu), (Grade::Medium, Grade::High, Grade::Medium));
+        assert_eq!(
+            (b.io, b.memory, b.cpu),
+            (Grade::Medium, Grade::High, Grade::Medium)
+        );
         let e = by_app(App::Epigenome);
-        assert_eq!((e.io, e.memory, e.cpu), (Grade::Low, Grade::Medium, Grade::High));
+        assert_eq!(
+            (e.io, e.memory, e.cpu),
+            (Grade::Low, Grade::Medium, Grade::High)
+        );
     }
 }

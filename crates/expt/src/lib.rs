@@ -25,6 +25,7 @@ pub mod figures;
 pub mod future_work;
 pub mod grid;
 pub mod microbench;
+pub mod perf;
 pub mod render;
 pub mod report;
 pub mod shape;

@@ -10,9 +10,20 @@ use wfstorage::StorageKind;
 pub fn table1(t: &Table1) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "TABLE I — APPLICATION RESOURCE USAGE COMPARISON");
-    let _ = writeln!(s, "{:<12} {:<8} {:<8} {:<8}", "Application", "I/O", "Memory", "CPU");
+    let _ = writeln!(
+        s,
+        "{:<12} {:<8} {:<8} {:<8}",
+        "Application", "I/O", "Memory", "CPU"
+    );
     for (app, u) in &t.rows {
-        let _ = writeln!(s, "{:<12} {:<8} {:<8} {:<8}", app.label(), u.io.to_string(), u.memory.to_string(), u.cpu.to_string());
+        let _ = writeln!(
+            s,
+            "{:<12} {:<8} {:<8} {:<8}",
+            app.label(),
+            u.io.to_string(),
+            u.memory.to_string(),
+            u.cpu.to_string()
+        );
     }
     s
 }
@@ -20,17 +31,31 @@ pub fn table1(t: &Table1) -> String {
 /// Render the §III.C disk microbenchmark.
 pub fn microbench(b: &DiskMicrobench) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "§III.C EPHEMERAL-DISK MICROBENCHMARK (measured end-to-end)");
-    let _ = writeln!(s, "{:<18} {:>12} {:>12} {:>10}", "Device", "first write", "rewrite", "read");
+    let _ = writeln!(
+        s,
+        "§III.C EPHEMERAL-DISK MICROBENCHMARK (measured end-to-end)"
+    );
+    let _ = writeln!(
+        s,
+        "{:<18} {:>12} {:>12} {:>10}",
+        "Device", "first write", "rewrite", "read"
+    );
     for r in &b.rows {
-        let dev = if r.disks == 1 { "1 ephemeral disk".to_string() } else { format!("{}-disk RAID 0", r.disks) };
+        let dev = if r.disks == 1 {
+            "1 ephemeral disk".to_string()
+        } else {
+            format!("{}-disk RAID 0", r.disks)
+        };
         let _ = writeln!(
             s,
             "{:<18} {:>9.0} MB/s {:>9.0} MB/s {:>7.0} MB/s",
             dev, r.first_write_mbps, r.rewrite_mbps, r.read_mbps
         );
     }
-    let _ = writeln!(s, "(paper: 20 / 100 / 110 single disk; 80-100 / 350-400 / ~310 RAID 0)");
+    let _ = writeln!(
+        s,
+        "(paper: 20 / 100 / 110 single disk; 80-100 / 350-400 / ~310 RAID 0)"
+    );
     s
 }
 
@@ -124,7 +149,10 @@ pub fn cost_figure(fig: &CostFigure, number: u32) -> String {
 /// Render the XtreemFS note.
 pub fn xtreemfs(x: &XtreemFsNote) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "§IV NOTE — XtreemFS (terminated in the paper after >2x slowdowns)");
+    let _ = writeln!(
+        s,
+        "§IV NOTE — XtreemFS (terminated in the paper after >2x slowdowns)"
+    );
     for (app, xs, best) in &x.rows {
         let _ = writeln!(
             s,
@@ -142,9 +170,19 @@ pub fn xtreemfs(x: &XtreemFsNote) -> String {
 pub fn shape_checks(checks: &[ShapeCheck]) -> String {
     let mut s = String::new();
     let passed = checks.iter().filter(|c| c.passed).count();
-    let _ = writeln!(s, "SHAPE CHECKS — {passed}/{} paper claims reproduced", checks.len());
+    let _ = writeln!(
+        s,
+        "SHAPE CHECKS — {passed}/{} paper claims reproduced",
+        checks.len()
+    );
     for c in checks {
-        let _ = writeln!(s, "  [{}] {:<32} {}", if c.passed { "PASS" } else { "FAIL" }, c.id, c.claim);
+        let _ = writeln!(
+            s,
+            "  [{}] {:<32} {}",
+            if c.passed { "PASS" } else { "FAIL" },
+            c.id,
+            c.claim
+        );
         let _ = writeln!(s, "         {}", c.detail);
     }
     s
@@ -180,7 +218,15 @@ pub fn runtime_csv(fig: &RuntimeFigure) -> String {
 pub fn cost_csv(fig: &CostFigure) -> String {
     let mut s = String::from("app,storage,workers,per_hour_usd,per_second_usd\n");
     for (st, n, ph, ps) in &fig.rows {
-        let _ = writeln!(s, "{},{},{},{:.4},{:.4}", fig.app.label(), st.label(), n, ph, ps);
+        let _ = writeln!(
+            s,
+            "{},{},{},{:.4},{:.4}",
+            fig.app.label(),
+            st.label(),
+            n,
+            ph,
+            ps
+        );
     }
     s
 }

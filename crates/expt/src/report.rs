@@ -37,6 +37,7 @@ pub struct Report {
 
 impl Report {
     /// Assemble a report from regenerated pieces.
+    #[allow(clippy::too_many_arguments)] // one parameter per regenerated artifact
     pub fn assemble(
         seed: u64,
         table1: Table1,

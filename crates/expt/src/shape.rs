@@ -56,9 +56,16 @@ pub fn check_fig2(fig: &RuntimeFigure) -> Vec<ShapeCheck> {
             .filter_map(|s| fig.makespan(*s, n))
             .fold(f64::INFINITY, f64::min);
         best_ok &= g < rest;
-        detail.push_str(&format!("n={n}: gluster {g:.0}s vs others' best {rest:.0}s; "));
+        detail.push_str(&format!(
+            "n={n}: gluster {g:.0}s vs others' best {rest:.0}s; "
+        ));
     }
-    out.push(check("fig2.gluster-best", "GlusterFS (both modes) beats every other system for Montage", best_ok, detail));
+    out.push(check(
+        "fig2.gluster-best",
+        "GlusterFS (both modes) beats every other system for Montage",
+        best_ok,
+        detail,
+    ));
 
     // §V.A: "NFS does relatively well for Montage, beating even the local
     // disk in the single node case." Our symmetric page-cache model puts
@@ -78,14 +85,22 @@ pub fn check_fig2(fig: &RuntimeFigure) -> Vec<ShapeCheck> {
     let mut sp_ok = true;
     let mut detail = String::new();
     for n in [2u32, 4, 8] {
-        let g = GLUSTERS.iter().filter_map(|s| fig.makespan(*s, n)).fold(f64::INFINITY, f64::min);
+        let g = GLUSTERS
+            .iter()
+            .filter_map(|s| fig.makespan(*s, n))
+            .fold(f64::INFINITY, f64::min);
         for s in [StorageKind::S3, StorageKind::Pvfs] {
             let v = fig.makespan(s, n).unwrap_or(f64::NAN);
             sp_ok &= v > g * 1.3;
             detail.push_str(&format!("{s:?}@{n} {v:.0}s vs gluster {g:.0}s; "));
         }
     }
-    out.push(check("fig2.s3-pvfs-poor", "S3 and PVFS are clearly worse than GlusterFS for Montage (many small files)", sp_ok, detail));
+    out.push(check(
+        "fig2.s3-pvfs-poor",
+        "S3 and PVFS are clearly worse than GlusterFS for Montage (many small files)",
+        sp_ok,
+        detail,
+    ));
     out
 }
 
@@ -109,7 +124,12 @@ pub fn check_fig3(fig: &RuntimeFigure) -> Vec<ShapeCheck> {
         spread_ok &= hi <= lo * 1.25;
         detail.push_str(&format!("n={n}: {lo:.0}-{hi:.0}s; "));
     }
-    out.push(check("fig3.insensitive", "Epigenome is nearly insensitive to the storage choice", spread_ok, detail));
+    out.push(check(
+        "fig3.insensitive",
+        "Epigenome is nearly insensitive to the storage choice",
+        spread_ok,
+        detail,
+    ));
 
     // §V.B: "for Epigenome the local disk was significantly faster" (at
     // one node). Our model lands local within 2 % of the best single-node
@@ -131,11 +151,19 @@ pub fn check_fig3(fig: &RuntimeFigure) -> Vec<ShapeCheck> {
     let mut detail = String::new();
     for n in [2u32, 4] {
         let s3 = fig.makespan(StorageKind::S3, n).unwrap_or(f64::NAN);
-        let g = GLUSTERS.iter().filter_map(|s| fig.makespan(*s, n)).fold(f64::INFINITY, f64::min);
+        let g = GLUSTERS
+            .iter()
+            .filter_map(|s| fig.makespan(*s, n))
+            .fold(f64::INFINITY, f64::min);
         s3_ok &= s3 >= g * 0.98;
         detail.push_str(&format!("n={n}: S3 {s3:.0}s vs gluster {g:.0}s; "));
     }
-    out.push(check("fig3.s3-slightly-worse", "S3 is no faster than GlusterFS for Epigenome", s3_ok, detail));
+    out.push(check(
+        "fig3.s3-slightly-worse",
+        "S3 is no faster than GlusterFS for Epigenome",
+        s3_ok,
+        detail,
+    ));
     out
 }
 
@@ -162,19 +190,35 @@ pub fn check_fig4(fig: &RuntimeFigure) -> Vec<ShapeCheck> {
         s3_ok &= s3 <= rest;
         detail.push_str(&format!("n={n}: S3 {s3:.0}s vs others' best {rest:.0}s; "));
     }
-    out.push(check("fig4.s3-best", "S3 gives the best Broadband performance (input reuse + client cache)", s3_ok, detail));
+    out.push(check(
+        "fig4.s3-best",
+        "S3 gives the best Broadband performance (input reuse + client cache)",
+        s3_ok,
+        detail,
+    ));
 
     // §V.C: "GlusterFS (NUFA) results in better performance than
     // GlusterFS (distribute)" for the mini-pipeline transformations.
     let mut nufa_ok = true;
     let mut detail = String::new();
     for n in [2u32, 4, 8] {
-        let nufa = fig.makespan(StorageKind::GlusterNufa, n).unwrap_or(f64::NAN);
-        let dist = fig.makespan(StorageKind::GlusterDistribute, n).unwrap_or(f64::NAN);
+        let nufa = fig
+            .makespan(StorageKind::GlusterNufa, n)
+            .unwrap_or(f64::NAN);
+        let dist = fig
+            .makespan(StorageKind::GlusterDistribute, n)
+            .unwrap_or(f64::NAN);
         nufa_ok &= nufa <= dist * 1.01;
-        detail.push_str(&format!("n={n}: NUFA {nufa:.0}s vs distribute {dist:.0}s; "));
+        detail.push_str(&format!(
+            "n={n}: NUFA {nufa:.0}s vs distribute {dist:.0}s; "
+        ));
     }
-    out.push(check("fig4.nufa-beats-distribute", "NUFA beats distribute for Broadband (pipeline locality)", nufa_ok, detail));
+    out.push(check(
+        "fig4.nufa-beats-distribute",
+        "NUFA beats distribute for Broadband (pipeline locality)",
+        nufa_ok,
+        detail,
+    ));
 
     // §V.C: NFS at 4 nodes (5363 s) is far worse than GlusterFS and S3
     // (<3000 s), and the 2→4 node step makes NFS *worse* in absolute
@@ -247,7 +291,10 @@ pub fn check_costs(figs: &[RuntimeFigure]) -> Vec<ShapeCheck> {
         "fig5.montage-cheapest",
         "Montage's cheapest configuration is GlusterFS@2 (or the one-hour Local tie)",
         montage_ok,
-        format!("cheapest: {:?}@{} ${:.2}", cheapest.cell.storage, cheapest.cell.workers, cheapest.cost_per_hour_usd),
+        format!(
+            "cheapest: {:?}@{} ${:.2}",
+            cheapest.cell.storage, cheapest.cell.workers, cheapest.cost_per_hour_usd
+        ),
     ));
 
     // §VI: "For Epigenome the lowest cost solution was a single node
@@ -262,7 +309,10 @@ pub fn check_costs(figs: &[RuntimeFigure]) -> Vec<ShapeCheck> {
         "fig6.epigenome-cheapest",
         "Epigenome's cheapest configuration is the single-node local disk",
         cheapest.cell.storage == StorageKind::Local,
-        format!("cheapest: {:?}@{} ${:.2}", cheapest.cell.storage, cheapest.cell.workers, cheapest.cost_per_hour_usd),
+        format!(
+            "cheapest: {:?}@{} ${:.2}",
+            cheapest.cell.storage, cheapest.cell.workers, cheapest.cost_per_hour_usd
+        ),
     ));
 
     // §VI: "For Broadband the local disk, GlusterFS and S3 all tied for
@@ -277,7 +327,10 @@ pub fn check_costs(figs: &[RuntimeFigure]) -> Vec<ShapeCheck> {
         "fig7.broadband-cheapest",
         "Broadband's cheapest configuration is local/GlusterFS/S3, never NFS",
         cheapest.cell.storage != StorageKind::Nfs,
-        format!("cheapest: {:?}@{} ${:.2}", cheapest.cell.storage, cheapest.cell.workers, cheapest.cost_per_hour_usd),
+        format!(
+            "cheapest: {:?}@{} ${:.2}",
+            cheapest.cell.storage, cheapest.cell.workers, cheapest.cost_per_hour_usd
+        ),
     ));
 
     // §VI: "In all other cases the cost of the workflows only increased
@@ -346,7 +399,12 @@ pub fn check_table1(t: &Table1) -> Vec<ShapeCheck> {
         ok &= matches;
         detail.push_str(&format!("{app}: {got:?}; "));
     }
-    vec![check("table1.grades", "Table I resource-usage grades match the paper exactly", ok, detail)]
+    vec![check(
+        "table1.grades",
+        "Table I resource-usage grades match the paper exactly",
+        ok,
+        detail,
+    )]
 }
 
 /// Checks over the XtreemFS note.
@@ -355,7 +413,10 @@ pub fn check_xtreemfs(x: &XtreemFsNote) -> Vec<ShapeCheck> {
     let mut detail = String::new();
     for (app, xs, best) in &x.rows {
         ok &= *xs > 2.0 * best;
-        detail.push_str(&format!("{app}: {xs:.0}s vs {best:.0}s ({:.1}x); ", xs / best));
+        detail.push_str(&format!(
+            "{app}: {xs:.0}s vs {best:.0}s ({:.1}x); ",
+            xs / best
+        ));
     }
     vec![check(
         "xtreemfs.2x",

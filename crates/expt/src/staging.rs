@@ -136,7 +136,11 @@ mod tests {
     #[test]
     fn end_to_end_covers_all_apps() {
         let rows = end_to_end(
-            &[(App::Montage, 423.0), (App::Broadband, 2902.0), (App::Epigenome, 665.0)],
+            &[
+                (App::Montage, 423.0),
+                (App::Broadband, 2902.0),
+                (App::Epigenome, 665.0),
+            ],
             42,
         );
         assert_eq!(rows.len(), 3);

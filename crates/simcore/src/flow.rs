@@ -9,16 +9,44 @@
 //! Active flows receive a **max–min fair share**: the progressive-filling
 //! algorithm raises every flow's rate together until a resource saturates
 //! (or a flow hits its cap), freezes the affected flows, and continues with
-//! the rest. Rates are recomputed whenever a flow starts, completes, or is
-//! cancelled. Between recomputations every flow progresses linearly, so the
+//! the rest. Between recomputations every flow progresses linearly, so the
 //! next completion time is exact.
 //!
 //! This is the classic flow-level network simulation used by SimGrid-style
 //! simulators; it captures contention crossovers (e.g. an NFS server NIC
 //! saturating as clients are added) without packet-level detail.
+//!
+//! ## Incremental engine
+//!
+//! A flow arriving, completing or being cancelled can only change the fair
+//! shares inside its own **connected component** of the resource↔flow
+//! bipartite graph: progressive filling decomposes exactly over components
+//! (the bottleneck sequence of one component never reads another's state).
+//! The engine exploits this three ways:
+//!
+//! * **Component-scoped recompute** — each event re-solves only the
+//!   component reachable from the affected flow, discovered by a stamped
+//!   breadth-first walk over per-resource flow lists. Rates elsewhere are
+//!   untouched (they would re-derive to the same bits).
+//! * **Lazy completion heap** — instead of scanning every active flow for
+//!   the earliest completion, predictions are computed once per rate
+//!   change and kept in a binary min-heap keyed `(time, flow id)`.
+//!   Per-flow generation counters invalidate superseded entries lazily.
+//! * **Lazy accounting** — per-flow remaining bytes and per-resource
+//!   statistics are only brought forward when their component is touched
+//!   (rates are constant in between, so the update is a single
+//!   multiply-add per flow/resource), using reusable scratch buffers
+//!   instead of per-event allocations.
+//!
+//! The reference single-threaded solver with global recompute and a linear
+//! completion scan is preserved as `NaiveFlowEngine` in the `naive` module
+//! behind the `oracle` feature; a differential property suite drives both
+//! engines through identical schedules and checks that rates and
+//! completions agree.
 
 use crate::time::{SimDuration, SimTime};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Handle to a registered resource.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -76,7 +104,7 @@ impl FlowSpec {
 }
 
 /// Accumulated per-resource statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ResourceStats {
     /// Total bytes that crossed the resource.
     pub bytes: f64,
@@ -91,15 +119,88 @@ pub struct ResourceStats {
 struct Resource {
     name: String,
     capacity: f64,
+    /// Slots of the active flows crossing this resource.
+    flows: Vec<u32>,
+    /// Sum of those flows' current rates (constant between recomputes of
+    /// this resource's component).
+    rate_sum: f64,
+    /// Statistics accumulated up to `stat_sync`.
     stats: ResourceStats,
+    stat_sync: SimTime,
 }
 
-struct ActiveFlow<C> {
+impl Resource {
+    /// Bring `stats` forward to `now` under the constant-rate interval
+    /// invariant. Must run *before* this resource's flow list or rates
+    /// change.
+    fn flush_stats(&mut self, now: SimTime) {
+        let dt = now.since(self.stat_sync).as_secs_f64();
+        if dt > 0.0 {
+            self.stats.bytes += self.rate_sum * dt;
+            if !self.flows.is_empty() {
+                self.stats.busy_secs += dt;
+            }
+            self.stats.util_integral += (self.rate_sum / self.capacity).min(1.0) * dt;
+        }
+        self.stat_sync = now;
+    }
+
+    /// `stats` as of `now` without mutating (for `&self` getters).
+    fn stats_at(&self, now: SimTime) -> ResourceStats {
+        let mut s = self.stats;
+        let dt = now.since(self.stat_sync).as_secs_f64();
+        if dt > 0.0 {
+            s.bytes += self.rate_sum * dt;
+            if !self.flows.is_empty() {
+                s.busy_secs += dt;
+            }
+            s.util_integral += (self.rate_sum / self.capacity).min(1.0) * dt;
+        }
+        s
+    }
+}
+
+/// One active flow in the slab.
+struct Slot<C> {
+    /// External id (drives all deterministic orderings).
+    id: u64,
+    /// Remaining bytes as of `sync`.
     remaining: f64,
     path: Vec<ResourceId>,
+    /// Position of this slot inside each path resource's flow list
+    /// (parallel to `path`), for O(path) removal.
+    path_pos: Vec<u32>,
     cap: Option<f64>,
     rate: f64,
-    completion: C,
+    /// Instant `remaining` was last brought forward.
+    sync: SimTime,
+    /// Heap-entry generation; entries with an older generation are stale.
+    gen: u64,
+    completion: Option<C>,
+}
+
+/// Reusable per-event buffers (no allocation on the hot path once warm).
+#[derive(Default)]
+struct Scratch {
+    /// Visitation epoch for the stamp vectors below.
+    stamp: u64,
+    res_stamp: Vec<u64>,
+    slot_stamp: Vec<u64>,
+    /// The touched component: flow slots (sorted by external id before
+    /// solving) and resource indices (BFS discovery order).
+    comp_slots: Vec<u32>,
+    comp_res: Vec<u32>,
+    /// Per-resource local index into `cap_left`/`load`/`saturated`
+    /// (valid when `res_stamp` matches `stamp`).
+    res_local: Vec<u32>,
+    cap_left: Vec<f64>,
+    load: Vec<u32>,
+    saturated: Vec<bool>,
+    /// Per-component-flow solver state, parallel to `comp_slots`.
+    fixed: Vec<bool>,
+    new_rate: Vec<f64>,
+    /// BFS work queue of resource indices.
+    res_queue: Vec<u32>,
 }
 
 /// The fluid-flow engine. `C` is an opaque completion payload returned to
@@ -107,11 +208,16 @@ struct ActiveFlow<C> {
 /// closures here).
 pub struct FlowEngine<C> {
     resources: Vec<Resource>,
-    flows: BTreeMap<FlowId, ActiveFlow<C>>,
+    slots: Vec<Option<Slot<C>>>,
+    free: Vec<u32>,
+    by_id: HashMap<u64, u32>,
+    /// Lazy min-heap of predicted completions `(time, id, gen)`.
+    heap: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
     next_id: u64,
     last_advance: SimTime,
     flows_started: u64,
     flows_completed: u64,
+    scratch: Scratch,
 }
 
 impl<C> Default for FlowEngine<C> {
@@ -125,11 +231,15 @@ impl<C> FlowEngine<C> {
     pub fn new() -> Self {
         FlowEngine {
             resources: Vec::new(),
-            flows: BTreeMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            by_id: HashMap::new(),
+            heap: BinaryHeap::new(),
             next_id: 0,
             last_advance: SimTime::ZERO,
             flows_started: 0,
             flows_completed: 0,
+            scratch: Scratch::default(),
         }
     }
 
@@ -144,8 +254,13 @@ impl<C> FlowEngine<C> {
         self.resources.push(Resource {
             name: name.into(),
             capacity,
+            flows: Vec::new(),
+            rate_sum: 0.0,
             stats: ResourceStats::default(),
+            stat_sync: self.last_advance,
         });
+        self.scratch.res_stamp.push(0);
+        self.scratch.res_local.push(0);
         id
     }
 
@@ -159,9 +274,10 @@ impl<C> FlowEngine<C> {
         self.resources[id.index()].capacity
     }
 
-    /// Statistics accumulated for a resource so far.
-    pub fn resource_stats(&self, id: ResourceId) -> &ResourceStats {
-        &self.resources[id.index()].stats
+    /// Statistics accumulated for a resource up to the engine's latest
+    /// accounting instant.
+    pub fn resource_stats(&self, id: ResourceId) -> ResourceStats {
+        self.resources[id.index()].stats_at(self.last_advance)
     }
 
     /// Number of registered resources.
@@ -176,7 +292,7 @@ impl<C> FlowEngine<C> {
 
     /// Number of currently active flows.
     pub fn active_flows(&self) -> usize {
-        self.flows.len()
+        self.by_id.len()
     }
 
     /// Start a flow at time `now`. The spec must not be instantaneous
@@ -184,115 +300,286 @@ impl<C> FlowEngine<C> {
     /// rate cap is present but not finite and positive, or if the path
     /// names an unregistered resource.
     pub fn start(&mut self, now: SimTime, spec: FlowSpec, completion: C) -> FlowId {
-        assert!(!spec.is_instant(), "instant flows must be handled by the caller");
+        assert!(
+            !spec.is_instant(),
+            "instant flows must be handled by the caller"
+        );
         if let Some(cap) = spec.rate_cap {
             assert!(cap.is_finite() && cap > 0.0, "rate cap must be positive");
         }
         for r in &spec.path {
             assert!(r.index() < self.resources.len(), "unknown resource in path");
         }
-        self.advance_to(now);
+        self.advance_clock(now);
+        // Sync the component the new flow is about to join (statistics
+        // must close their constant-rate interval before the flow lists
+        // change).
+        self.collect_component(&spec.path, None);
+        self.sync_component(now);
+
         let id = FlowId(self.next_id);
         self.next_id += 1;
-        self.flows.insert(
-            id,
-            ActiveFlow {
-                remaining: spec.bytes as f64,
-                path: spec.path,
-                cap: spec.rate_cap,
-                rate: 0.0,
-                completion,
-            },
-        );
         self.flows_started += 1;
-        self.recompute_rates();
+        let slot = self.alloc_slot(Slot {
+            id: id.0,
+            remaining: spec.bytes as f64,
+            path_pos: Vec::with_capacity(spec.path.len()),
+            path: spec.path,
+            cap: spec.rate_cap,
+            rate: 0.0,
+            sync: now,
+            gen: 0,
+            completion: Some(completion),
+        });
+        self.attach(slot);
+        self.by_id.insert(id.0, slot);
+        self.scratch.comp_slots.push(slot);
+        self.solve_and_apply(now);
         id
     }
 
     /// Cancel an active flow, returning its completion payload if it was
     /// still active.
     pub fn cancel(&mut self, now: SimTime, id: FlowId) -> Option<C> {
-        self.advance_to(now);
-        let flow = self.flows.remove(&id)?;
-        self.recompute_rates();
-        Some(flow.completion)
-    }
-
-    /// The earliest (time, flow) completion among active flows, if any.
-    pub fn next_completion(&self) -> Option<(SimTime, FlowId)> {
-        let mut best: Option<(SimTime, FlowId)> = None;
-        for (&id, f) in &self.flows {
-            debug_assert!(f.rate > 0.0, "active flow with zero rate");
-            let dt = SimDuration::from_secs_f64(f.remaining / f.rate);
-            // Never schedule strictly before the present accounting point.
-            let t = self.last_advance + dt;
-            match best {
-                Some((bt, _)) if bt <= t => {}
-                _ => best = Some((t, id)),
-            }
-        }
-        best
+        let slot = *self.by_id.get(&id.0)?;
+        Some(self.remove_flow(now, id, slot))
     }
 
     /// Complete flow `id` at time `now` (as previously announced by
     /// [`Self::next_completion`]) and return its completion payload.
     pub fn complete(&mut self, now: SimTime, id: FlowId) -> C {
-        self.advance_to(now);
-        let mut flow = self.flows.remove(&id).expect("completing unknown flow");
-        // Rounding the completion instant to nanoseconds can leave a
-        // vanishing residue; the flow is done by construction.
-        flow.remaining = 0.0;
+        let slot = *self.by_id.get(&id.0).expect("completing unknown flow");
         self.flows_completed += 1;
-        self.recompute_rates();
-        flow.completion
+        self.remove_flow(now, id, slot)
     }
 
-    /// Advance accounting to `now`, crediting progress to all active flows.
-    fn advance_to(&mut self, now: SimTime) {
-        debug_assert!(now >= self.last_advance, "time went backwards");
-        let dt = now.since(self.last_advance).as_secs_f64();
-        if dt > 0.0 {
-            let mut used = vec![0.0f64; self.resources.len()];
-            let mut any = vec![false; self.resources.len()];
-            for f in self.flows.values_mut() {
-                let moved = f.rate * dt;
-                f.remaining = (f.remaining - moved).max(0.0);
-                for r in &f.path {
-                    used[r.index()] += moved;
-                    any[r.index()] = true;
-                }
+    /// The earliest (time, flow) completion among active flows, if any.
+    /// Takes `&mut self` to discard stale heap entries.
+    pub fn next_completion(&mut self) -> Option<(SimTime, FlowId)> {
+        while let Some(Reverse((t, id, gen))) = self.heap.peek().copied() {
+            let live = self
+                .by_id
+                .get(&id)
+                .and_then(|&s| self.slots[s as usize].as_ref())
+                .is_some_and(|f| f.gen == gen);
+            if live {
+                return Some((t, FlowId(id)));
             }
-            for (i, res) in self.resources.iter_mut().enumerate() {
-                res.stats.bytes += used[i];
-                if any[i] {
-                    res.stats.busy_secs += dt;
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Instantaneous rate of an active flow (testing/diagnostics).
+    pub fn flow_rate(&self, id: FlowId) -> Option<f64> {
+        let slot = *self.by_id.get(&id.0)?;
+        self.slots[slot as usize].as_ref().map(|f| f.rate)
+    }
+
+    /// Remaining bytes of an active flow as of the engine's latest
+    /// accounting instant (testing/diagnostics).
+    pub fn flow_remaining(&self, id: FlowId) -> Option<f64> {
+        let slot = *self.by_id.get(&id.0)?;
+        self.slots[slot as usize].as_ref().map(|f| {
+            let dt = self.last_advance.since(f.sync).as_secs_f64();
+            (f.remaining - f.rate * dt).max(0.0)
+        })
+    }
+
+    // ---- internals ----------------------------------------------------
+
+    fn advance_clock(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_advance, "time went backwards");
+        self.last_advance = self.last_advance.max(now);
+    }
+
+    fn alloc_slot(&mut self, flow: Slot<C>) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            self.slots[slot as usize] = Some(flow);
+            slot
+        } else {
+            let slot = u32::try_from(self.slots.len()).expect("too many flows");
+            self.slots.push(Some(flow));
+            self.scratch.slot_stamp.push(0);
+            slot
+        }
+    }
+
+    /// Insert `slot` into its path resources' flow lists.
+    fn attach(&mut self, slot: u32) {
+        let f = self.slots[slot as usize]
+            .as_mut()
+            .expect("attach to vacant slot");
+        for r in &f.path {
+            let list = &mut self.resources[r.index()].flows;
+            f.path_pos
+                .push(u32::try_from(list.len()).expect("flow list fits u32"));
+            list.push(slot);
+        }
+    }
+
+    /// Remove `slot` from its path resources' flow lists (swap-remove,
+    /// patching the moved flow's back-pointer). A flow can cross the same
+    /// resource more than once, so the moved flow's matching path entry is
+    /// found by its recorded position, not just the resource id.
+    fn detach(&mut self, slot: u32) {
+        let mut f = self.slots[slot as usize]
+            .take()
+            .expect("detach of vacant slot");
+        for k in 0..f.path.len() {
+            let r = f.path[k];
+            let pos = f.path_pos[k];
+            let list = &mut self.resources[r.index()].flows;
+            let moved = *list.last().expect("flow list empty on detach");
+            list.swap_remove(pos as usize);
+            if (pos as usize) >= list.len() {
+                continue; // removed the tail itself; nothing moved
+            }
+            let old_tail = u32::try_from(list.len()).expect("flow list fits u32");
+            if moved == slot {
+                // The tail was another crossing of this same flow.
+                for j in 0..f.path.len() {
+                    if f.path[j].index() == r.index() && f.path_pos[j] == old_tail {
+                        f.path_pos[j] = pos;
+                        break;
+                    }
                 }
-                res.stats.util_integral += (used[i] / dt / res.capacity).min(1.0) * dt;
+            } else {
+                let mf = self.slots[moved as usize]
+                    .as_mut()
+                    .expect("moved slot vacant");
+                for (pr, pp) in mf.path.iter().zip(mf.path_pos.iter_mut()) {
+                    if pr.index() == r.index() && *pp == old_tail {
+                        *pp = pos;
+                        break;
+                    }
+                }
             }
         }
-        self.last_advance = now;
+        self.slots[slot as usize] = Some(f);
     }
 
-    /// Progressive-filling max–min fair allocation with per-flow caps.
-    fn recompute_rates(&mut self) {
-        let n_res = self.resources.len();
-        let mut cap_left: Vec<f64> = self.resources.iter().map(|r| r.capacity).collect();
-        let mut load = vec![0u32; n_res];
+    fn remove_flow(&mut self, now: SimTime, id: FlowId, slot: u32) -> C {
+        self.advance_clock(now);
+        let path: Vec<ResourceId> = self.slots[slot as usize]
+            .as_ref()
+            .expect("removing vacant slot")
+            .path
+            .clone();
+        // The component is discovered while the flow is still attached, so
+        // parts that the removal splits apart are all re-solved this event.
+        self.collect_component(&path, Some(slot));
+        self.sync_component(now);
+        self.detach(slot);
+        self.scratch.comp_slots.retain(|&s| s != slot);
+        let f = self.slots[slot as usize].take().expect("slot vanished");
+        self.by_id.remove(&id.0);
+        self.free.push(slot);
+        self.solve_and_apply(now);
+        self.maybe_shrink_heap();
+        f.completion.expect("completion payload taken twice")
+    }
 
-        // Work on a snapshot of flow order for deterministic arithmetic.
-        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
-        let mut fixed: Vec<bool> = vec![false; ids.len()];
-        let mut rate: Vec<f64> = vec![0.0; ids.len()];
+    /// Stamped BFS over the resource↔flow bipartite graph, seeded from
+    /// `seed_res` (and optionally a seed flow). Fills `scratch.comp_slots`
+    /// and `scratch.comp_res`.
+    fn collect_component(&mut self, seed_res: &[ResourceId], seed_slot: Option<u32>) {
+        let sc = &mut self.scratch;
+        sc.stamp += 1;
+        let stamp = sc.stamp;
+        sc.comp_slots.clear();
+        sc.comp_res.clear();
+        sc.res_queue.clear();
+        if let Some(s) = seed_slot {
+            sc.slot_stamp[s as usize] = stamp;
+            sc.comp_slots.push(s);
+        }
+        for r in seed_res {
+            let ri = r.index();
+            if sc.res_stamp[ri] != stamp {
+                sc.res_stamp[ri] = stamp;
+                sc.comp_res.push(r.0);
+                sc.res_queue.push(r.0);
+            }
+        }
+        while let Some(ri) = sc.res_queue.pop() {
+            for &s in &self.resources[ri as usize].flows {
+                if sc.slot_stamp[s as usize] == stamp {
+                    continue;
+                }
+                sc.slot_stamp[s as usize] = stamp;
+                sc.comp_slots.push(s);
+                let f = self.slots[s as usize].as_ref().expect("listed slot vacant");
+                for pr in &f.path {
+                    let pi = pr.index();
+                    if sc.res_stamp[pi] != stamp {
+                        sc.res_stamp[pi] = stamp;
+                        sc.comp_res.push(pr.0);
+                        sc.res_queue.push(pr.0);
+                    }
+                }
+            }
+        }
+    }
 
-        for (i, id) in ids.iter().enumerate() {
-            let f = &self.flows[id];
+    /// Bring every flow and resource of the collected component forward to
+    /// `now` (rates were constant since their last sync).
+    fn sync_component(&mut self, now: SimTime) {
+        for &s in &self.scratch.comp_slots {
+            let f = self.slots[s as usize]
+                .as_mut()
+                .expect("sync of vacant slot");
+            let dt = now.since(f.sync).as_secs_f64();
+            if dt > 0.0 {
+                f.remaining = (f.remaining - f.rate * dt).max(0.0);
+            }
+            f.sync = now;
+        }
+        for &r in &self.scratch.comp_res {
+            self.resources[r as usize].flush_stats(now);
+        }
+    }
+
+    /// Progressive-filling max–min fair allocation over the collected
+    /// component, then rate/heap/statistics bookkeeping. Flows are solved
+    /// in ascending external-id order so the arithmetic matches a global
+    /// recompute restricted to this component bit for bit.
+    fn solve_and_apply(&mut self, now: SimTime) {
+        let sc = &mut self.scratch;
+        sc.comp_slots.sort_unstable_by_key(|&s| {
+            self.slots[s as usize]
+                .as_ref()
+                .expect("solving vacant slot")
+                .id
+        });
+        let k = sc.comp_slots.len();
+        let nr = sc.comp_res.len();
+
+        sc.fixed.clear();
+        sc.fixed.resize(k, false);
+        sc.new_rate.clear();
+        sc.new_rate.resize(k, 0.0);
+        sc.cap_left.clear();
+        sc.load.clear();
+        sc.saturated.clear();
+        sc.saturated.resize(nr, false);
+        for (li, &r) in sc.comp_res.iter().enumerate() {
+            sc.res_local[r as usize] = u32::try_from(li).expect("component fits u32");
+            sc.cap_left.push(self.resources[r as usize].capacity);
+            sc.load.push(0);
+        }
+
+        for (i, &s) in sc.comp_slots.iter().enumerate() {
+            let f = self.slots[s as usize]
+                .as_ref()
+                .expect("solving vacant slot");
             if f.path.is_empty() {
                 // Only a cap constrains this flow.
-                rate[i] = f.cap.expect("uncapped pathless flow");
-                fixed[i] = true;
+                sc.new_rate[i] = f.cap.expect("uncapped pathless flow");
+                sc.fixed[i] = true;
             } else {
                 for r in &f.path {
-                    load[r.index()] += 1;
+                    sc.load[sc.res_local[r.index()] as usize] += 1;
                 }
             }
         }
@@ -300,16 +587,16 @@ impl<C> FlowEngine<C> {
         loop {
             // Bottleneck candidate from resources.
             let mut share = f64::INFINITY;
-            for r in 0..n_res {
-                if load[r] > 0 {
-                    share = share.min(cap_left[r].max(0.0) / f64::from(load[r]));
+            for li in 0..nr {
+                if sc.load[li] > 0 {
+                    share = share.min(sc.cap_left[li].max(0.0) / f64::from(sc.load[li]));
                 }
             }
             // Bottleneck candidate from per-flow caps.
             let mut min_cap = f64::INFINITY;
-            for (i, id) in ids.iter().enumerate() {
-                if !fixed[i] {
-                    if let Some(c) = self.flows[id].cap {
+            for (i, &s) in sc.comp_slots.iter().enumerate() {
+                if !sc.fixed[i] {
+                    if let Some(c) = self.slots[s as usize].as_ref().expect("vacant").cap {
                         min_cap = min_cap.min(c);
                     }
                 }
@@ -321,39 +608,45 @@ impl<C> FlowEngine<C> {
             let mut progressed = false;
             if min_cap <= share {
                 // Freeze every unfixed flow whose cap equals the bottleneck.
-                for (i, id) in ids.iter().enumerate() {
-                    if fixed[i] {
+                for (i, &s) in sc.comp_slots.iter().enumerate() {
+                    if sc.fixed[i] {
                         continue;
                     }
-                    let f = &self.flows[id];
+                    let f = self.slots[s as usize].as_ref().expect("vacant");
                     if f.cap.is_some_and(|c| c <= share && c <= min_cap) {
-                        rate[i] = f.cap.unwrap();
-                        fixed[i] = true;
+                        sc.new_rate[i] = f.cap.unwrap();
+                        sc.fixed[i] = true;
                         progressed = true;
                         for r in &f.path {
-                            cap_left[r.index()] -= rate[i];
-                            load[r.index()] -= 1;
+                            let li = sc.res_local[r.index()] as usize;
+                            sc.cap_left[li] -= sc.new_rate[i];
+                            sc.load[li] -= 1;
                         }
                     }
                 }
             } else {
                 // Freeze every unfixed flow crossing a saturated resource.
                 let eps = share * 1e-12;
-                let saturated: Vec<bool> = (0..n_res)
-                    .map(|r| load[r] > 0 && cap_left[r].max(0.0) / f64::from(load[r]) <= share + eps)
-                    .collect();
-                for (i, id) in ids.iter().enumerate() {
-                    if fixed[i] {
+                for li in 0..nr {
+                    sc.saturated[li] = sc.load[li] > 0
+                        && sc.cap_left[li].max(0.0) / f64::from(sc.load[li]) <= share + eps;
+                }
+                for (i, &s) in sc.comp_slots.iter().enumerate() {
+                    if sc.fixed[i] {
                         continue;
                     }
-                    let f = &self.flows[id];
-                    if f.path.iter().any(|r| saturated[r.index()]) {
-                        rate[i] = share;
-                        fixed[i] = true;
+                    let f = self.slots[s as usize].as_ref().expect("vacant");
+                    if f.path
+                        .iter()
+                        .any(|r| sc.saturated[sc.res_local[r.index()] as usize])
+                    {
+                        sc.new_rate[i] = share;
+                        sc.fixed[i] = true;
                         progressed = true;
                         for r in &f.path {
-                            cap_left[r.index()] -= share;
-                            load[r.index()] -= 1;
+                            let li = sc.res_local[r.index()] as usize;
+                            sc.cap_left[li] -= share;
+                            sc.load[li] -= 1;
                         }
                     }
                 }
@@ -364,19 +657,46 @@ impl<C> FlowEngine<C> {
             }
         }
 
-        for (i, id) in ids.iter().enumerate() {
-            self.flows.get_mut(id).expect("flow vanished").rate = rate[i].max(f64::MIN_POSITIVE);
+        // Apply rates and push fresh completion predictions for every flow
+        // of the component (its remaining bytes were just synced to `now`,
+        // so the prediction is exactly what the reference engine's linear
+        // scan would derive). Superseded heap entries go stale via `gen`.
+        for (i, &s) in sc.comp_slots.iter().enumerate() {
+            let f = self.slots[s as usize].as_mut().expect("vacant");
+            f.rate = sc.new_rate[i].max(f64::MIN_POSITIVE);
+            f.gen += 1;
+            let eta = SimDuration::from_secs_f64(f.remaining / f.rate);
+            self.heap.push(Reverse((now + eta, f.id, f.gen)));
+        }
+
+        // Per-resource rate sums open a fresh constant-rate interval.
+        for &r in &sc.comp_res {
+            let res = &mut self.resources[r as usize];
+            let mut sum = 0.0;
+            for &s in &res.flows {
+                sum += self.slots[s as usize].as_ref().expect("vacant").rate;
+            }
+            res.rate_sum = sum;
+            debug_assert_eq!(res.stat_sync, now, "stats not flushed before re-rating");
         }
     }
 
-    /// Instantaneous rate of an active flow (testing/diagnostics).
-    pub fn flow_rate(&self, id: FlowId) -> Option<f64> {
-        self.flows.get(&id).map(|f| f.rate)
-    }
-
-    /// Remaining bytes of an active flow (testing/diagnostics).
-    pub fn flow_remaining(&self, id: FlowId) -> Option<f64> {
-        self.flows.get(&id).map(|f| f.remaining)
+    /// Bound heap growth: when stale entries dominate, rebuild from the
+    /// live predictions.
+    fn maybe_shrink_heap(&mut self) {
+        let live = self.by_id.len();
+        if self.heap.len() > 64 && self.heap.len() > 4 * live + 16 {
+            let old = std::mem::take(&mut self.heap);
+            self.heap = old
+                .into_iter()
+                .filter(|Reverse((_, id, gen))| {
+                    self.by_id
+                        .get(id)
+                        .and_then(|&s| self.slots[s as usize].as_ref())
+                        .is_some_and(|f| f.gen == *gen)
+                })
+                .collect();
+        }
     }
 }
 
@@ -535,5 +855,58 @@ mod tests {
         let _b = fe.start(t(0.0), FlowSpec::new(100, vec![r]), ());
         let (_, fid) = fe.next_completion().unwrap();
         assert_eq!(fid, a);
+    }
+
+    #[test]
+    fn disjoint_components_do_not_disturb_each_other() {
+        // A flow on disk A keeps its rate (and prediction) bit-for-bit
+        // when traffic starts and stops on an unrelated disk B.
+        let mut fe: FlowEngine<u8> = FlowEngine::new();
+        let ra = fe.add_resource("a", 100.0);
+        let rb = fe.add_resource("b", 100.0);
+        let fa = fe.start(t(0.0), FlowSpec::new(1000, vec![ra]), 0);
+        let before = fe.next_completion().unwrap();
+        let fb = fe.start(t(1.0), FlowSpec::new(50, vec![rb]), 1);
+        assert_eq!(fe.flow_rate(fa), Some(100.0));
+        assert_eq!(fe.next_completion().unwrap(), (t(1.5), fb));
+        fe.cancel(t(2.0), fb);
+        // A's prediction is untouched by B's entire lifecycle.
+        let (ta, ida) = fe.next_completion().unwrap();
+        assert_eq!((ta, ida), before);
+        assert_eq!(ida, fa);
+    }
+
+    #[test]
+    fn slab_reuses_slots_without_confusing_ids() {
+        let mut fe: FlowEngine<u32> = FlowEngine::new();
+        let r = fe.add_resource("nic", 100.0);
+        let a = fe.start(t(0.0), FlowSpec::new(100, vec![r]), 1);
+        assert_eq!(fe.complete(t(1.0), a), 1);
+        // The next flow reuses A's slot but must be a distinct id.
+        let b = fe.start(t(1.0), FlowSpec::new(200, vec![r]), 2);
+        assert_ne!(a, b);
+        assert_eq!(fe.flow_rate(a), None);
+        assert_eq!(fe.flow_rate(b), Some(100.0));
+        let (done, fid) = fe.next_completion().unwrap();
+        assert_eq!(fid, b);
+        assert!((done.as_secs_f64() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn heap_discards_stale_predictions() {
+        let mut fe: FlowEngine<()> = FlowEngine::new();
+        let r = fe.add_resource("nic", 100.0);
+        let a = fe.start(t(0.0), FlowSpec::new(1000, vec![r]), ());
+        // Repeated arrivals/cancellations re-rate A many times; every
+        // superseded prediction must be ignored.
+        for i in 0..100u64 {
+            let tt = t(0.001 * i as f64);
+            let b = fe.start(tt, FlowSpec::new(1_000_000, vec![r]), ());
+            fe.cancel(tt, b);
+        }
+        assert_eq!(fe.flow_rate(a), Some(100.0));
+        let (done, fid) = fe.next_completion().unwrap();
+        assert_eq!(fid, a);
+        assert!((done.as_secs_f64() - 10.0).abs() < 1e-4, "{done}");
     }
 }

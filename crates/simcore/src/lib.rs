@@ -39,6 +39,8 @@
 #![warn(missing_docs)]
 
 pub mod flow;
+#[cfg(any(test, feature = "oracle"))]
+pub mod naive;
 pub mod rng;
 pub mod sim;
 pub mod time;

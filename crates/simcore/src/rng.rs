@@ -109,10 +109,7 @@ mod tests {
     fn different_seeds_decorrelate() {
         let mut a = DetRng::stream(1, "x");
         let mut b = DetRng::stream(2, "x");
-        assert_ne!(
-            a.uniform(0.0, 1.0).to_bits(),
-            b.uniform(0.0, 1.0).to_bits()
-        );
+        assert_ne!(a.uniform(0.0, 1.0).to_bits(), b.uniform(0.0, 1.0).to_bits());
     }
 
     #[test]

@@ -91,8 +91,9 @@ impl<W> Sim<W> {
         self.flows.add_resource(name, capacity_bps)
     }
 
-    /// Statistics for a resource.
-    pub fn resource_stats(&self, id: ResourceId) -> &ResourceStats {
+    /// Statistics for a resource, brought forward to the engine's latest
+    /// accounting instant.
+    pub fn resource_stats(&self, id: ResourceId) -> ResourceStats {
         self.flows.resource_stats(id)
     }
 
@@ -259,7 +260,9 @@ mod tests {
         let mut sim: Sim<World> = Sim::new();
         let mut w = World::default();
         sim.schedule_at(secs(5.0), |s, _| {
-            s.schedule_at(secs(1.0), |s, w| w.log.push((s.now().as_secs_f64(), "late")));
+            s.schedule_at(secs(1.0), |s, w| {
+                w.log.push((s.now().as_secs_f64(), "late"))
+            });
         });
         sim.run(&mut w);
         assert_eq!(w.log, vec![(5.0, "late")]);
@@ -301,7 +304,9 @@ mod tests {
         let mut w = World::default();
         let disk = sim.add_resource("disk", 100.0);
         sim.schedule_at(secs(0.0), move |s, _| {
-            s.start_flow(FlowSpec::new(1000, vec![disk]), |_, w| w.log.push((10.0, "flow")));
+            s.start_flow(FlowSpec::new(1000, vec![disk]), |_, w| {
+                w.log.push((10.0, "flow"))
+            });
         });
         sim.schedule_at(secs(10.0), |_, w| w.log.push((10.0, "event")));
         sim.run(&mut w);

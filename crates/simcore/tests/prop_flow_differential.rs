@@ -1,0 +1,232 @@
+//! Differential property tests: the incremental [`FlowEngine`] against the
+//! preserved reference solver [`NaiveFlowEngine`] (the `oracle` feature).
+//!
+//! Both engines are driven through the *same* randomly generated schedule
+//! of flow arrivals, cancellations, and completions (completions are
+//! ordered by the oracle and applied to both). After every event the
+//! engines must agree on:
+//!
+//! * the rate of every active flow, **bit for bit** — component-scoped
+//!   progressive filling performs the same arithmetic as a global
+//!   recompute restricted to the touched component;
+//! * the next completion instant. When every flow shares a common
+//!   resource the graph is one connected component and the incremental
+//!   engine syncs at every event, so predictions are bit-identical; with
+//!   disjoint components the lazy engine coalesces several small
+//!   `remaining -= rate·dt` steps into one, which can move a prediction
+//!   by a few ULPs (bounded here at relative 1e-12, ≥2 ns).
+
+use proptest::prelude::*;
+use simcore::naive::NaiveFlowEngine;
+use simcore::{FlowEngine, FlowId, FlowSpec, SimTime};
+
+/// A randomly generated flow description over `n_res` resources.
+#[derive(Debug, Clone)]
+struct GenFlow {
+    bytes: u64,
+    path: Vec<usize>,
+    cap: Option<f64>,
+    start_ms: u64,
+}
+
+fn gen_flow(n_res: usize) -> impl Strategy<Value = GenFlow> {
+    (
+        1u64..5_000_000,
+        proptest::collection::vec(0..n_res, 1..=n_res.min(4)),
+        proptest::option::of(10.0f64..1e8),
+        0u64..8_000,
+    )
+        .prop_map(|(bytes, mut path, cap, start_ms)| {
+            path.sort_unstable();
+            path.dedup();
+            GenFlow {
+                bytes,
+                path,
+                cap,
+                start_ms,
+            }
+        })
+}
+
+/// One scheduled mutation of the engines.
+enum Op {
+    /// Start the flow at this index of the generated list.
+    Start(usize),
+    /// Cancel the `k`-th flow ever started (if still active).
+    Cancel(usize),
+}
+
+/// Drive both engines through the same schedule, asserting agreement after
+/// every event. `tol_ns(t)` bounds the allowed next-completion divergence
+/// at simulated nanosecond `t`.
+fn run_differential(
+    caps: &[f64],
+    flows: &[GenFlow],
+    cancels: &[(usize, u64)],
+    force_shared: bool,
+    tol_ns: impl Fn(u64) -> u64,
+) -> Result<(), TestCaseError> {
+    let mut naive: NaiveFlowEngine<usize> = NaiveFlowEngine::new();
+    let mut inc: FlowEngine<usize> = FlowEngine::new();
+    let rids_n: Vec<_> = caps
+        .iter()
+        .enumerate()
+        .map(|(i, c)| naive.add_resource(format!("r{i}"), *c))
+        .collect();
+    let rids_i: Vec<_> = caps
+        .iter()
+        .enumerate()
+        .map(|(i, c)| inc.add_resource(format!("r{i}"), *c))
+        .collect();
+
+    // Merge starts and cancels into one deterministic timeline.
+    let mut ops: Vec<(u64, usize, Op)> = Vec::new();
+    for (i, g) in flows.iter().enumerate() {
+        ops.push((g.start_ms * 1_000_000, ops.len(), Op::Start(i)));
+    }
+    for &(k, ms) in cancels {
+        ops.push((ms * 1_000_000, ops.len(), Op::Cancel(k)));
+    }
+    ops.sort_by_key(|&(t, seq, _)| (t, seq));
+
+    let mut started: Vec<FlowId> = Vec::new();
+    let mut active: Vec<FlowId> = Vec::new();
+    let mut op_ix = 0;
+    let mut completions = 0u32;
+
+    loop {
+        let next_op = ops.get(op_ix).map(|&(t, _, _)| t);
+        let next_done = naive.next_completion();
+        let step_op = match (next_op, next_done) {
+            (None, None) => break,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            // Events beat flow completions on ties, mirroring `Sim::run`.
+            (Some(q), Some((t, _))) => q <= t.as_nanos(),
+        };
+
+        if step_op {
+            let (t_ns, _, ref op) = ops[op_ix];
+            op_ix += 1;
+            let now = SimTime::from_nanos(t_ns);
+            match *op {
+                Op::Start(i) => {
+                    let g = &flows[i];
+                    let mut path: Vec<usize> =
+                        g.path.iter().copied().filter(|&p| p < caps.len()).collect();
+                    if force_shared && !path.contains(&0) {
+                        path.insert(0, 0);
+                    }
+                    let build = |rids: &[simcore::ResourceId]| {
+                        let mut spec =
+                            FlowSpec::new(g.bytes, path.iter().map(|&p| rids[p]).collect());
+                        if let Some(c) = g.cap {
+                            spec = spec.with_cap(c);
+                        }
+                        spec
+                    };
+                    let spec = build(&rids_n);
+                    if spec.is_instant() {
+                        continue;
+                    }
+                    let id_n = naive.start(now, spec, i);
+                    let id_i = inc.start(now, build(&rids_i), i);
+                    prop_assert_eq!(id_n, id_i, "flow ids diverged");
+                    started.push(id_n);
+                    active.push(id_n);
+                }
+                Op::Cancel(k) => {
+                    if started.is_empty() {
+                        continue;
+                    }
+                    let id = started[k % started.len()];
+                    let got_n = naive.cancel(now, id);
+                    let got_i = inc.cancel(now, id);
+                    prop_assert_eq!(got_n, got_i, "cancel payloads diverged");
+                    active.retain(|&a| a != id);
+                }
+            }
+        } else {
+            let (t_n, id_n) = next_done.unwrap();
+            let (t_i, id_i) = inc
+                .next_completion()
+                .expect("incremental engine has no completion");
+            let tol = tol_ns(t_n.as_nanos());
+            let dt = t_n.as_nanos().abs_diff(t_i.as_nanos());
+            prop_assert!(
+                dt <= tol,
+                "next completion diverged: naive {t_n:?}/{id_n:?} vs incremental {t_i:?}/{id_i:?}"
+            );
+            if tol == 0 {
+                prop_assert_eq!(id_n, id_i, "completion order diverged");
+            }
+            // The oracle's choice drives both engines.
+            let done_n = naive.complete(t_n, id_n);
+            let done_i = inc.complete(t_n, id_n);
+            prop_assert_eq!(done_n, done_i, "completion payloads diverged");
+            active.retain(|&a| a != id_n);
+            completions += 1;
+        }
+
+        // After every event: identical rate vectors, bit for bit.
+        for &id in &active {
+            let rn = naive.flow_rate(id).expect("active in oracle");
+            let ri = inc.flow_rate(id).expect("active in incremental");
+            prop_assert_eq!(
+                rn.to_bits(),
+                ri.to_bits(),
+                "rate diverged for {:?}: naive {} vs incremental {}",
+                id,
+                rn,
+                ri
+            );
+        }
+        prop_assert_eq!(naive.active_flows(), inc.active_flows());
+    }
+
+    prop_assert!(completions > 0 || flows.iter().all(|f| f.bytes == 0));
+    prop_assert_eq!(naive.flow_counters(), inc.flow_counters());
+    prop_assert_eq!(inc.active_flows(), 0);
+    // Byte accounting agrees to rounding (the engines accumulate resource
+    // statistics with differently-associated but equivalent arithmetic).
+    for (rn, ri) in rids_n.iter().zip(&rids_i) {
+        let bn = naive.resource_stats(*rn).bytes;
+        let bi = inc.resource_stats(*ri).bytes;
+        prop_assert!(
+            (bn - bi).abs() <= bn.abs().max(1.0) * 1e-9,
+            "resource bytes diverged: {bn} vs {bi}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fully connected case: every flow crosses resource 0, so the graph is
+    /// always a single component and the incremental engine must match the
+    /// oracle **bit for bit** — rates, completion instants, and completion
+    /// order.
+    #[test]
+    fn single_component_is_bit_identical(
+        caps in proptest::collection::vec(1e3f64..1e9, 1..5),
+        flows in proptest::collection::vec(gen_flow(4), 1..40),
+        cancels in proptest::collection::vec((0usize..64, 0u64..10_000), 0..8),
+    ) {
+        run_differential(&caps, &flows, &cancels, true, |_| 0)?;
+    }
+
+    /// General case: random paths form multiple components that split and
+    /// merge as flows come and go. Rates must still agree bit for bit;
+    /// completion predictions may drift by the lazy-sync rounding bound.
+    #[test]
+    fn multi_component_rates_exact_times_tight(
+        caps in proptest::collection::vec(1e3f64..1e9, 2..6),
+        flows in proptest::collection::vec(gen_flow(5), 1..40),
+        cancels in proptest::collection::vec((0usize..64, 0u64..10_000), 0..8),
+    ) {
+        // Relative 1e-12 of the completion instant, floored at 2 ns.
+        run_differential(&caps, &flows, &cancels, false,
+            |t| 2 + (t as f64 * 1e-12) as u64)?;
+    }
+}

@@ -33,7 +33,11 @@ pub struct StorageConfigs {
 /// The cluster spec a storage kind needs for `workers` worker nodes,
 /// including any dedicated server node (NFS by default runs on an
 /// `m1.xlarge`, §IV.B; pass `server_type` to try others, §V.C).
-pub fn cluster_spec_for(kind: StorageKind, workers: u32, server_type: Option<InstanceType>) -> ClusterSpec {
+pub fn cluster_spec_for(
+    kind: StorageKind,
+    workers: u32,
+    server_type: Option<InstanceType>,
+) -> ClusterSpec {
     match kind {
         StorageKind::Nfs => {
             ClusterSpec::with_server(workers, server_type.unwrap_or(InstanceType::M1Xlarge))
@@ -90,7 +94,11 @@ pub fn build_storage<W>(
         );
     }
     if cons.needs_server {
-        assert!(cluster.server().is_some(), "{} needs a dedicated server node", sys.name());
+        assert!(
+            cluster.server().is_some(),
+            "{} needs a dedicated server node",
+            sys.name()
+        );
     }
     sys
 }
@@ -118,7 +126,12 @@ mod tests {
     fn local_builds_on_one_worker() {
         let mut sim: Sim<()> = Sim::new();
         let cluster = Cluster::provision(&mut sim, &ClusterSpec::workers_only(1));
-        let sys = build_storage(StorageKind::Local, &mut sim, &cluster, &StorageConfigs::default());
+        let sys = build_storage(
+            StorageKind::Local,
+            &mut sim,
+            &cluster,
+            &StorageConfigs::default(),
+        );
         assert_eq!(sys.name(), "local");
     }
 
@@ -136,7 +149,12 @@ mod tests {
     fn gluster_on_one_worker_panics() {
         let mut sim: Sim<()> = Sim::new();
         let cluster = Cluster::provision(&mut sim, &ClusterSpec::workers_only(1));
-        let _ = build_storage(StorageKind::GlusterNufa, &mut sim, &cluster, &StorageConfigs::default());
+        let _ = build_storage(
+            StorageKind::GlusterNufa,
+            &mut sim,
+            &cluster,
+            &StorageConfigs::default(),
+        );
     }
 
     #[test]
@@ -144,6 +162,11 @@ mod tests {
     fn local_on_two_workers_panics() {
         let mut sim: Sim<()> = Sim::new();
         let cluster = Cluster::provision(&mut sim, &ClusterSpec::workers_only(2));
-        let _ = build_storage(StorageKind::Local, &mut sim, &cluster, &StorageConfigs::default());
+        let _ = build_storage(
+            StorageKind::Local,
+            &mut sim,
+            &cluster,
+            &StorageConfigs::default(),
+        );
     }
 }

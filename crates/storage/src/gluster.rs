@@ -233,7 +233,11 @@ mod tests {
         let local = g.plan_read(&c, w0, (FileId(0), 1000));
         assert_eq!(local.stages[0].legs[0].path.len(), 2, "spindle + read");
         let remote = g.plan_read(&c, w1, (FileId(0), 1000));
-        assert_eq!(remote.stages[0].legs[0].path.len(), 4, "disk (2) + two NICs");
+        assert_eq!(
+            remote.stages[0].legs[0].path.len(),
+            4,
+            "disk (2) + two NICs"
+        );
         assert_eq!(g.read_locality(), (1, 1));
     }
 
@@ -265,7 +269,10 @@ mod tests {
             .find(|f| g.hash_owner(*f, &c) != w0)
             .expect("some file hashes elsewhere");
         let plan = g.plan_write(&c, w0, (fid, 1000));
-        assert!(plan.stages[0].legs[0].path.len() >= 5, "NICs + remote write path");
+        assert!(
+            plan.stages[0].legs[0].path.len() >= 5,
+            "NICs + remote write path"
+        );
     }
 
     #[test]

@@ -73,7 +73,10 @@ impl StorageSystem for LocalDisk {
     }
 
     fn plan_read(&mut self, cluster: &Cluster, node: NodeId, (file, size): FileRef) -> OpPlan {
-        assert!(self.present.contains(&file), "read of a file never written: {file:?}");
+        assert!(
+            self.present.contains(&file),
+            "read of a file never written: {file:?}"
+        );
         self.stats.reads += 1;
         self.stats.bytes_read += size;
         if self.page_cache.touch(file) {
@@ -94,7 +97,10 @@ impl StorageSystem for LocalDisk {
     }
 
     fn plan_write(&mut self, cluster: &Cluster, node: NodeId, (file, size): FileRef) -> OpPlan {
-        assert!(self.present.insert(file), "write-once violated for {file:?}");
+        assert!(
+            self.present.insert(file),
+            "write-once violated for {file:?}"
+        );
         self.stats.writes += 1;
         self.stats.bytes_written += size;
         self.page_cache.insert(file, size);
@@ -183,7 +189,10 @@ mod tests {
         let st = s.op_stats();
         assert_eq!((st.reads, st.writes), (1, 1));
         assert_eq!((st.bytes_read, st.bytes_written), (500, 300));
-        assert_eq!(s.local_bytes(&c, w, &[(FileId(0), 500), (FileId(1), 300), (FileId(2), 9)]), 800);
+        assert_eq!(
+            s.local_bytes(&c, w, &[(FileId(0), 500), (FileId(1), 300), (FileId(2), 9)]),
+            800
+        );
     }
 
     #[test]

@@ -87,7 +87,7 @@ impl Default for NfsConfig {
             client_cache_fraction: 0.5,
             dirty_fraction: 0.35,
             placement: NfsPlacement::DedicatedServer,
-            ops_per_sec_per_core: 300.0,
+            ops_per_sec_per_core: 320.0,
             op_amplification: 1.15,
             amp_clients_cap: 3,
         }
@@ -201,7 +201,10 @@ impl StorageSystem for Nfs {
     }
 
     fn plan_read(&mut self, cluster: &Cluster, node: NodeId, (file, size): FileRef) -> OpPlan {
-        assert!(self.present.contains(&file), "read of a file never written: {file:?}");
+        assert!(
+            self.present.contains(&file),
+            "read of a file never written: {file:?}"
+        );
         self.stats.reads += 1;
         self.stats.bytes_read += size;
         let srv = cluster.node(self.server);
@@ -236,7 +239,10 @@ impl StorageSystem for Nfs {
     }
 
     fn plan_write(&mut self, cluster: &Cluster, node: NodeId, (file, size): FileRef) -> OpPlan {
-        assert!(self.present.insert(file), "write-once violated for {file:?}");
+        assert!(
+            self.present.insert(file),
+            "write-once violated for {file:?}"
+        );
         self.stats.writes += 1;
         self.stats.bytes_written += size;
         let srv = cluster.node(self.server);
@@ -301,7 +307,10 @@ mod tests {
 
     fn setup() -> (Sim<()>, Cluster, Nfs) {
         let mut sim: Sim<()> = Sim::new();
-        let c = Cluster::provision(&mut sim, &ClusterSpec::with_server(2, InstanceType::M1Xlarge));
+        let c = Cluster::provision(
+            &mut sim,
+            &ClusterSpec::with_server(2, InstanceType::M1Xlarge),
+        );
         let nfs = Nfs::new(&mut sim, &c, NfsConfig::default());
         (sim, c, nfs)
     }
@@ -379,7 +388,10 @@ mod tests {
     #[test]
     fn sync_mount_always_goes_to_disk() {
         let mut sim: Sim<()> = Sim::new();
-        let c = Cluster::provision(&mut sim, &ClusterSpec::with_server(1, InstanceType::M1Xlarge));
+        let c = Cluster::provision(
+            &mut sim,
+            &ClusterSpec::with_server(1, InstanceType::M1Xlarge),
+        );
         let mut nfs = Nfs::new(
             &mut sim,
             &c,
@@ -431,8 +443,14 @@ mod tests {
     #[test]
     fn m2_4xlarge_server_has_higher_dirty_limit() {
         let mut sim: Sim<()> = Sim::new();
-        let c1 = Cluster::provision(&mut sim, &ClusterSpec::with_server(1, InstanceType::M1Xlarge));
-        let c2 = Cluster::provision(&mut sim, &ClusterSpec::with_server(1, InstanceType::M24Xlarge));
+        let c1 = Cluster::provision(
+            &mut sim,
+            &ClusterSpec::with_server(1, InstanceType::M1Xlarge),
+        );
+        let c2 = Cluster::provision(
+            &mut sim,
+            &ClusterSpec::with_server(1, InstanceType::M24Xlarge),
+        );
         let a = Nfs::new(&mut sim, &c1, NfsConfig::default());
         let b = Nfs::new(&mut sim, &c2, NfsConfig::default());
         assert!(b.dirty_limit > 3 * a.dirty_limit);

@@ -108,7 +108,13 @@ impl Pvfs {
     }
 
     /// Parallel striped legs touching every I/O server.
-    fn striped_legs(&self, cluster: &Cluster, client: NodeId, size: u64, write: bool) -> Vec<FlowLeg> {
+    fn striped_legs(
+        &self,
+        cluster: &Cluster,
+        client: NodeId,
+        size: u64,
+        write: bool,
+    ) -> Vec<FlowLeg> {
         let workers = cluster.workers();
         let k = workers.len() as u64;
         let per = size / k;
@@ -168,7 +174,10 @@ impl StorageSystem for Pvfs {
     }
 
     fn plan_read(&mut self, cluster: &Cluster, node: NodeId, (file, size): FileRef) -> OpPlan {
-        assert!(self.present.contains(&file), "read of a file never written: {file:?}");
+        assert!(
+            self.present.contains(&file),
+            "read of a file never written: {file:?}"
+        );
         self.stats.reads += 1;
         self.stats.bytes_read += size;
         OpPlan::one(Stage {
@@ -178,7 +187,10 @@ impl StorageSystem for Pvfs {
     }
 
     fn plan_write(&mut self, cluster: &Cluster, node: NodeId, (file, size): FileRef) -> OpPlan {
-        assert!(self.present.insert(file), "write-once violated for {file:?}");
+        assert!(
+            self.present.insert(file),
+            "write-once violated for {file:?}"
+        );
         self.stats.writes += 1;
         self.stats.bytes_written += size;
         OpPlan::one(Stage {
@@ -253,7 +265,9 @@ mod tests {
         let p_old = old.plan_write(&c, c.workers()[0], (FileId(0), size));
         let p_new = newer.plan_write(&c, c.workers()[0], (FileId(0), size));
         assert!(p_new.stages[0].latency < p_old.stages[0].latency);
-        assert!(p_new.stages[0].legs[0].rate_cap.unwrap() > p_old.stages[0].legs[0].rate_cap.unwrap());
+        assert!(
+            p_new.stages[0].legs[0].rate_cap.unwrap() > p_old.stages[0].legs[0].rate_cap.unwrap()
+        );
         assert_eq!(newer.name(), "pvfs-2.8");
     }
 
@@ -277,6 +291,9 @@ mod tests {
 
     #[test]
     fn needs_two_workers() {
-        assert_eq!(Pvfs::new(PvfsConfig::default()).constraints().min_workers, 2);
+        assert_eq!(
+            Pvfs::new(PvfsConfig::default()).constraints().min_workers,
+            2
+        );
     }
 }

@@ -49,7 +49,7 @@ impl Default for S3Config {
         S3Config {
             get_latency: SimDuration::from_nanos(55_000_000), // 55 ms
             put_latency: SimDuration::from_nanos(70_000_000), // 70 ms
-            stream_bps: 70.0e6,
+            stream_bps: 76.0e6,
             backend_bps: 5.0e9,
             client_cache: true,
             open_latency: SimDuration::from_nanos(200_000),
@@ -158,7 +158,8 @@ impl StorageSystem for S3 {
             plan = plan
                 .then(Stage::lat_leg(
                     self.cfg.get_latency,
-                    FlowLeg::new(size, vec![self.backend_out, n.nic_in]).with_cap(self.cfg.stream_bps),
+                    FlowLeg::new(size, vec![self.backend_out, n.nic_in])
+                        .with_cap(self.cfg.stream_bps),
                 ))
                 .then(Stage::leg(FlowLeg::new(size, n.write_path())));
             self.cache_insert(node, file);
@@ -265,7 +266,7 @@ mod tests {
         assert_eq!(plan.stages.len(), 2);
         let fetch = &plan.stages[0].legs[0];
         assert_eq!(fetch.path, vec![s3.backend_out, c.node(w).nic_in]);
-        assert_eq!(fetch.rate_cap, Some(70.0e6));
+        assert_eq!(fetch.rate_cap, Some(S3Config::default().stream_bps));
         let spill = &plan.stages[1].legs[0];
         assert_eq!(spill.path, c.node(w).write_path());
         assert_eq!(s3.request_counts(), (1, 0));

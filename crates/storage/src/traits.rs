@@ -101,7 +101,12 @@ pub trait StorageSystem {
     fn plan_write(&mut self, cluster: &Cluster, node: NodeId, file: FileRef) -> OpPlan;
 
     /// Plan the per-job stage-out of `outputs` from `node` (S3 PUTs).
-    fn plan_stage_out(&mut self, _cluster: &Cluster, _node: NodeId, _outputs: &[FileRef]) -> OpPlan {
+    fn plan_stage_out(
+        &mut self,
+        _cluster: &Cluster,
+        _node: NodeId,
+        _outputs: &[FileRef],
+    ) -> OpPlan {
         OpPlan::empty()
     }
 

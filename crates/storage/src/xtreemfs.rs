@@ -75,7 +75,10 @@ impl StorageSystem for XtreemFs {
     }
 
     fn plan_read(&mut self, cluster: &Cluster, node: NodeId, (file, size): FileRef) -> OpPlan {
-        assert!(self.present.contains(&file), "read of a file never written: {file:?}");
+        assert!(
+            self.present.contains(&file),
+            "read of a file never written: {file:?}"
+        );
         self.stats.reads += 1;
         self.stats.bytes_read += size;
         let n = cluster.node(node);
@@ -86,7 +89,10 @@ impl StorageSystem for XtreemFs {
     }
 
     fn plan_write(&mut self, cluster: &Cluster, node: NodeId, (file, size): FileRef) -> OpPlan {
-        assert!(self.present.insert(file), "write-once violated for {file:?}");
+        assert!(
+            self.present.insert(file),
+            "write-once violated for {file:?}"
+        );
         self.stats.writes += 1;
         self.stats.bytes_written += size;
         let n = cluster.node(node);

@@ -163,12 +163,26 @@ impl Cluster {
         let mut workers = Vec::new();
         for w in 0..spec.workers {
             let id = NodeId(u32::try_from(nodes.len()).expect("node count fits u32"));
-            nodes.push(Self::make_node(sim, id, spec.worker_type, NodeRole::Worker, spec, w));
+            nodes.push(Self::make_node(
+                sim,
+                id,
+                spec.worker_type,
+                NodeRole::Worker,
+                spec,
+                w,
+            ));
             workers.push(id);
         }
         let server = spec.storage_server.map(|itype| {
             let id = NodeId(u32::try_from(nodes.len()).expect("node count fits u32"));
-            nodes.push(Self::make_node(sim, id, itype, NodeRole::StorageServer, spec, 0));
+            nodes.push(Self::make_node(
+                sim,
+                id,
+                itype,
+                NodeRole::StorageServer,
+                spec,
+                0,
+            ));
             id
         });
         Cluster {
@@ -286,7 +300,10 @@ mod tests {
         let spec = n.local_write(1_000_000);
         assert_eq!(spec.path.len(), 3, "spindle + write + fresh bottleneck");
         assert_eq!(spec.path[2], n.disk_fresh.unwrap());
-        assert_eq!(n.local_read(1_000_000).path, vec![n.disk_spindle, n.disk_read]);
+        assert_eq!(
+            n.local_read(1_000_000).path,
+            vec![n.disk_spindle, n.disk_read]
+        );
     }
 
     #[test]

@@ -155,9 +155,21 @@ mod tests {
     fn raid0_x4_lands_in_paper_ranges() {
         let r = DiskProfile::ec2_raid0_x4();
         // §III.C: reads ~310, rewrites 350-400, first writes 80-100 MB/s.
-        assert!((300.0 * MBPS..=320.0 * MBPS).contains(&r.read_bps), "{}", r.read_bps);
-        assert!((350.0 * MBPS..=400.0 * MBPS).contains(&r.rewrite_bps), "{}", r.rewrite_bps);
-        assert!((80.0 * MBPS..=100.0 * MBPS).contains(&r.first_write_bps), "{}", r.first_write_bps);
+        assert!(
+            (300.0 * MBPS..=320.0 * MBPS).contains(&r.read_bps),
+            "{}",
+            r.read_bps
+        );
+        assert!(
+            (350.0 * MBPS..=400.0 * MBPS).contains(&r.rewrite_bps),
+            "{}",
+            r.rewrite_bps
+        );
+        assert!(
+            (80.0 * MBPS..=100.0 * MBPS).contains(&r.first_write_bps),
+            "{}",
+            r.first_write_bps
+        );
     }
 
     #[test]
@@ -169,7 +181,9 @@ mod tests {
 
     #[test]
     fn raid_preserves_initialization_flag() {
-        let d = DiskProfile::ec2_ephemeral().initialized().raid0(4, RaidEfficiency::default());
+        let d = DiskProfile::ec2_ephemeral()
+            .initialized()
+            .raid0(4, RaidEfficiency::default());
         assert!(d.initialized);
         assert_eq!(d.first_write_cap(), None);
     }
@@ -183,7 +197,11 @@ mod tests {
 
     #[test]
     fn raid0_of_one_disk_scales_by_efficiency_only() {
-        let eff = RaidEfficiency { read: 1.0, write: 1.0, first_write: 1.0 };
+        let eff = RaidEfficiency {
+            read: 1.0,
+            write: 1.0,
+            first_write: 1.0,
+        };
         let d = DiskProfile::ec2_ephemeral().raid0(1, eff);
         assert_eq!(d, DiskProfile::ec2_ephemeral());
     }

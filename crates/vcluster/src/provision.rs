@@ -70,7 +70,11 @@ impl ProvisionReport {
 /// with independent jittered boot times; the Context Broker waits for all
 /// of them (it needs every identity to generate configurations), then
 /// contextualizes and starts services.
-pub fn provision_timeline(spec: &ClusterSpec, cfg: &ProvisionConfig, rng: &mut DetRng) -> ProvisionReport {
+pub fn provision_timeline(
+    spec: &ClusterSpec,
+    cfg: &ProvisionConfig,
+    rng: &mut DetRng,
+) -> ProvisionReport {
     let n = spec.total_instances();
     let boot_secs: Vec<f64> = (0..n)
         .map(|_| rng.uniform(cfg.boot_min_secs, cfg.boot_max_secs))
@@ -87,7 +91,11 @@ pub fn provision_timeline(spec: &ClusterSpec, cfg: &ProvisionConfig, rng: &mut D
 /// §VI's amortization question, quantified: the fraction of paid wall
 /// time lost to provisioning when a cluster is provisioned once and used
 /// for `runs` workflows of `makespan_secs` each.
-pub fn provisioning_overhead_fraction(report: &ProvisionReport, makespan_secs: f64, runs: u32) -> f64 {
+pub fn provisioning_overhead_fraction(
+    report: &ProvisionReport,
+    makespan_secs: f64,
+    runs: u32,
+) -> f64 {
     let useful = makespan_secs * f64::from(runs.max(1));
     report.total_secs() / (report.total_secs() + useful)
 }

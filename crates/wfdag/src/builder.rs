@@ -48,7 +48,10 @@ impl WorkflowBuilder {
         inputs: Vec<FileId>,
         outputs: Vec<FileId>,
     ) -> TaskId {
-        assert!(cpu_secs.is_finite() && cpu_secs >= 0.0, "cpu_secs must be non-negative");
+        assert!(
+            cpu_secs.is_finite() && cpu_secs >= 0.0,
+            "cpu_secs must be non-negative"
+        );
         let id = TaskId(u32::try_from(self.tasks.len()).expect("task count fits u32"));
         // Default operation count: a few calls per file touched.
         let io_ops = 4 * (inputs.len() + outputs.len()) as u32 + 4;

@@ -11,9 +11,9 @@
 //! always increases the level, so no two tasks on one level depend on
 //! each other.
 
+use crate::builder::WorkflowBuilder;
 use crate::ids::{FileId, TaskId};
 use crate::model::Workflow;
-use crate::builder::WorkflowBuilder;
 use std::collections::BTreeMap;
 
 /// Bundle same-(level, transformation) tasks into clusters of at most
@@ -138,7 +138,11 @@ mod tests {
         assert_eq!(s0.output_bytes, s1.output_bytes);
         // The join must still depend on every cluster.
         let join = c.tasks().iter().position(|t| t.name == "join").unwrap();
-        assert_eq!(c.parent_count(crate::ids::TaskId(join as u32)), 3, "12/5 -> 3 clusters");
+        assert_eq!(
+            c.parent_count(crate::ids::TaskId(join as u32)),
+            3,
+            "12/5 -> 3 clusters"
+        );
         // Level structure is intact (3 levels).
         assert_eq!(analysis::level_histogram(&c).len(), 3);
     }

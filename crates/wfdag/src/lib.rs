@@ -36,7 +36,9 @@ pub mod ids;
 pub mod model;
 pub mod serialize;
 
-pub use analysis::{average_parallelism, critical_path_secs, level_histogram, stats, WorkflowStats};
+pub use analysis::{
+    average_parallelism, critical_path_secs, level_histogram, stats, WorkflowStats,
+};
 pub use builder::WorkflowBuilder;
 pub use clustering::cluster_horizontal;
 pub use ids::{FileId, TaskId};

@@ -117,7 +117,11 @@ pub enum WorkflowError {
 impl std::fmt::Display for WorkflowError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            WorkflowError::MultipleProducers { file, first, second } => write!(
+            WorkflowError::MultipleProducers {
+                file,
+                first,
+                second,
+            } => write!(
                 f,
                 "file {file:?} produced by both {first:?} and {second:?} (write-once violated)"
             ),
@@ -219,13 +223,17 @@ impl Workflow {
         let mut names = HashSet::new();
         for f in &files {
             if !names.insert(f.name.as_str()) {
-                return Err(WorkflowError::DuplicateFileName { name: f.name.clone() });
+                return Err(WorkflowError::DuplicateFileName {
+                    name: f.name.clone(),
+                });
             }
         }
         names.clear();
         for t in &tasks {
             if !names.insert(t.name.as_str()) {
-                return Err(WorkflowError::DuplicateTaskName { name: t.name.clone() });
+                return Err(WorkflowError::DuplicateTaskName {
+                    name: t.name.clone(),
+                });
             }
         }
         drop(names);
@@ -257,7 +265,10 @@ impl Workflow {
                     return Err(WorkflowError::DanglingFile { task: tid });
                 }
                 if t.outputs.contains(inp) {
-                    return Err(WorkflowError::SelfLoop { task: tid, file: *inp });
+                    return Err(WorkflowError::SelfLoop {
+                        task: tid,
+                        file: *inp,
+                    });
                 }
             }
         }
@@ -296,7 +307,10 @@ impl Workflow {
         }
         let parent_counts = indeg.clone();
 
-        let mut queue: Vec<TaskId> = (0..n as u32).map(TaskId).filter(|t| indeg[t.index()] == 0).collect();
+        let mut queue: Vec<TaskId> = (0..n as u32)
+            .map(TaskId)
+            .filter(|t| indeg[t.index()] == 0)
+            .collect();
         let mut topo = Vec::with_capacity(n);
         let mut level = vec![0u32; n];
         let mut head = 0;

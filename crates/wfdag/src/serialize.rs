@@ -59,7 +59,10 @@ impl std::fmt::Display for LoadError {
         match self {
             LoadError::Json(e) => write!(f, "malformed workflow document: {e}"),
             LoadError::Version { found } => {
-                write!(f, "unsupported document version {found} (expected {FORMAT_VERSION})")
+                write!(
+                    f,
+                    "unsupported document version {found} (expected {FORMAT_VERSION})"
+                )
             }
             LoadError::Invalid(e) => write!(f, "invalid workflow: {e}"),
         }
@@ -168,7 +171,14 @@ mod tests {
             let mut next = Vec::new();
             for i in 0..5 {
                 let f = b.file(format!("f{l}_{i}"), 1000 + i);
-                b.task(format!("t{l}_{i}"), format!("x{l}"), 1.0, 1 << 20, prev.clone(), vec![f]);
+                b.task(
+                    format!("t{l}_{i}"),
+                    format!("x{l}"),
+                    1.0,
+                    1 << 20,
+                    prev.clone(),
+                    vec![f],
+                );
                 next.push(f);
             }
             prev = next;
@@ -185,7 +195,10 @@ mod tests {
     #[test]
     fn rejects_wrong_version() {
         let json = to_json(&sample()).replace("\"version\": 1", "\"version\": 99");
-        assert!(matches!(from_json(&json), Err(LoadError::Version { found: 99 })));
+        assert!(matches!(
+            from_json(&json),
+            Err(LoadError::Version { found: 99 })
+        ));
     }
 
     #[test]

@@ -12,16 +12,13 @@ struct GenDag {
 }
 
 fn gen_dag() -> impl Strategy<Value = GenDag> {
-    (
-        proptest::collection::vec(1u8..8, 1..5),
-        1u8..4,
-        1u8..3,
-    )
-        .prop_map(|(layers, fanin, transformations_per_layer)| GenDag {
+    (proptest::collection::vec(1u8..8, 1..5), 1u8..4, 1u8..3).prop_map(
+        |(layers, fanin, transformations_per_layer)| GenDag {
             layers,
             fanin,
             transformations_per_layer,
-        })
+        },
+    )
 }
 
 fn build(dag: &GenDag) -> Workflow {

@@ -247,13 +247,21 @@ mod tests {
         let wf = broadband(BroadbandConfig::paper());
         // Each velocity region feeds the LF simulation of every source at
         // its site (6 combinations).
-        let region = wf.files().iter().find(|f| f.name == "velocity_region_0.bin").unwrap();
+        let region = wf
+            .files()
+            .iter()
+            .find(|f| f.name == "velocity_region_0.bin")
+            .unwrap();
         assert_eq!(region.consumers.len(), 6);
         // Each site model is loaded once per combination.
         let site = wf.files().iter().find(|f| f.name == "site_0.mod").unwrap();
         assert_eq!(site.consumers.len(), 6);
         // Each source description feeds one createSRF per site.
-        let src = wf.files().iter().find(|f| f.name == "source_0.def").unwrap();
+        let src = wf
+            .files()
+            .iter()
+            .find(|f| f.name == "source_0.def")
+            .unwrap();
         assert_eq!(src.consumers.len(), 8);
     }
 

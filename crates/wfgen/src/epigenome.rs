@@ -78,7 +78,12 @@ pub fn epigenome(cfg: EpigenomeConfig) -> Workflow {
     for l in 0..cfg.lanes {
         let share = (cfg.chunks / cfg.lanes + u32::from(l < cfg.chunks % cfg.lanes)) as usize;
         let outs: Vec<FileId> = (0..share)
-            .map(|k| b.file(format!("chunk_{l}_{k:03}.fastq"), jit.size(chunk_bytes, 0.08)))
+            .map(|k| {
+                b.file(
+                    format!("chunk_{l}_{k:03}.fastq"),
+                    jit.size(chunk_bytes, 0.08),
+                )
+            })
             .collect();
         b.task(
             format!("fastqSplit_{l}"),
@@ -95,7 +100,10 @@ pub fn epigenome(cfg: EpigenomeConfig) -> Workflow {
     // Per-chunk pipeline: filterContams -> sol2sanger -> fastq2bfq -> map.
     let mut maps = Vec::with_capacity(cfg.chunks as usize);
     for (c, &chunk) in chunks.iter().enumerate() {
-        let filtered = b.file(format!("filt_{c:03}.fastq"), jit.size(chunk_bytes * 95 / 100, 0.08));
+        let filtered = b.file(
+            format!("filt_{c:03}.fastq"),
+            jit.size(chunk_bytes * 95 / 100, 0.08),
+        );
         b.task(
             format!("filterContams_{c:03}"),
             "filterContams",
@@ -104,7 +112,10 @@ pub fn epigenome(cfg: EpigenomeConfig) -> Workflow {
             vec![chunk],
             vec![filtered],
         );
-        let sanger = b.file(format!("sanger_{c:03}.fastq"), jit.size(chunk_bytes * 95 / 100, 0.08));
+        let sanger = b.file(
+            format!("sanger_{c:03}.fastq"),
+            jit.size(chunk_bytes * 95 / 100, 0.08),
+        );
         b.task(
             format!("sol2sanger_{c:03}"),
             "sol2sanger",
@@ -113,7 +124,10 @@ pub fn epigenome(cfg: EpigenomeConfig) -> Workflow {
             vec![filtered],
             vec![sanger],
         );
-        let bfq = b.file(format!("bfq_{c:03}.bfq"), jit.size(chunk_bytes * 45 / 100, 0.08));
+        let bfq = b.file(
+            format!("bfq_{c:03}.bfq"),
+            jit.size(chunk_bytes * 45 / 100, 0.08),
+        );
         b.task(
             format!("fastq2bfq_{c:03}"),
             "fastq2bfq",

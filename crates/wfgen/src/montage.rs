@@ -71,10 +71,13 @@ impl MontageConfig {
     /// grid with the mosaic's linear size. Calibrated so `degrees(8)`
     /// produces the paper's 2102-image instance.
     pub fn degrees(d: u32) -> Self {
-        assert!((1..=20).contains(&d), "supported mosaic sizes: 1-20 degrees");
+        assert!(
+            (1..=20).contains(&d),
+            "supported mosaic sizes: 1-20 degrees"
+        );
         let images = (2102 * d * d + 32) / 64; // ≈ 32.8 images per deg²
-        let diffs = images * 3 - images / 3;   // ≈ 2.94 diffs per image
-        let tiles = (25 * d + 4) / 8;          // ≈ 3.1 tiles per degree
+        let diffs = images * 3 - images / 3; // ≈ 2.94 diffs per image
+        let tiles = (25 * d + 4) / 8; // ≈ 3.1 tiles per degree
         MontageConfig {
             images: images.max(4),
             diffs: diffs.max(4),
@@ -109,8 +112,14 @@ pub fn montage(cfg: MontageConfig) -> Workflow {
     let mut proj = Vec::with_capacity(cfg.images as usize);
     let mut area = Vec::with_capacity(cfg.images as usize);
     for i in 0..cfg.images {
-        let p = b.file(format!("proj_{i:05}.fits"), jit.size(raw_bytes * 110 / 100, 0.08));
-        let a = b.file(format!("area_{i:05}.fits"), jit.size(raw_bytes * 110 / 100, 0.08));
+        let p = b.file(
+            format!("proj_{i:05}.fits"),
+            jit.size(raw_bytes * 110 / 100, 0.08),
+        );
+        let a = b.file(
+            format!("area_{i:05}.fits"),
+            jit.size(raw_bytes * 110 / 100, 0.08),
+        );
         let t = b.task(
             format!("mProjectPP_{i:05}"),
             "mProjectPP",
@@ -133,7 +142,10 @@ pub fn montage(cfg: MontageConfig) -> Workflow {
         let i = (d % (cfg.images - 1)) as usize;
         let j = i + 1 + (d / (cfg.images - 1)) as usize % (cfg.images as usize - i - 1).max(1);
         let j = j.min(cfg.images as usize - 1);
-        let diff_img = b.file(format!("diff_{d:05}.fits"), jit.size(raw_bytes * 200 / 100, 0.1));
+        let diff_img = b.file(
+            format!("diff_{d:05}.fits"),
+            jit.size(raw_bytes * 200 / 100, 0.1),
+        );
         let fit = b.file(format!("fit_{d:05}.txt"), jit.size(4_000, 0.3));
         let t = b.task(
             format!("mDiffFit_{d:05}"),
@@ -149,7 +161,14 @@ pub fn montage(cfg: MontageConfig) -> Workflow {
 
     // mConcatFit: all fit files -> one table.
     let fits_tbl = b.file("fits.tbl", MB);
-    b.task("mConcatFit", "mConcatFit", jit.secs(8.0, 0.1), mem_small, fits, vec![fits_tbl]);
+    b.task(
+        "mConcatFit",
+        "mConcatFit",
+        jit.secs(8.0, 0.1),
+        mem_small,
+        fits,
+        vec![fits_tbl],
+    );
 
     // mBgModel: fit table -> correction table.
     let corrections = b.file("corrections.tbl", MB / 2);
@@ -165,7 +184,10 @@ pub fn montage(cfg: MontageConfig) -> Workflow {
     // mBackground: per image, corrected image of the projected size.
     let mut corrected = Vec::with_capacity(cfg.images as usize);
     for i in 0..cfg.images {
-        let c = b.file(format!("corr_{i:05}.fits"), jit.size(raw_bytes * 160 / 100, 0.08));
+        let c = b.file(
+            format!("corr_{i:05}.fits"),
+            jit.size(raw_bytes * 160 / 100, 0.08),
+        );
         let t = b.task(
             format!("mBackground_{i:05}"),
             "mBackground",
@@ -217,7 +239,10 @@ pub fn montage(cfg: MontageConfig) -> Workflow {
             vec![tile],
         );
         b.set_io_ops(tid, 120);
-        let small = b.file(format!("shrunk_{t:02}.fits"), jit.size(tile_bytes / 12, 0.05));
+        let small = b.file(
+            format!("shrunk_{t:02}.fits"),
+            jit.size(tile_bytes / 12, 0.05),
+        );
         b.task(
             format!("mShrink_{t:02}"),
             "mShrink",
@@ -231,7 +256,14 @@ pub fn montage(cfg: MontageConfig) -> Workflow {
 
     // mJPEG: browse product from the shrunk tiles.
     let jpeg = b.file("mosaic.jpg", 55 * MB);
-    b.task("mJPEG", "mJPEG", jit.secs(12.0, 0.1), mem_small, shrunk, vec![jpeg]);
+    b.task(
+        "mJPEG",
+        "mJPEG",
+        jit.secs(12.0, 0.1),
+        mem_small,
+        shrunk,
+        vec![jpeg],
+    );
 
     let wf = b.build().expect("montage generator produces a valid DAG");
     debug_assert_eq!(wf.task_count() as u32, cfg.task_count());
@@ -268,7 +300,10 @@ mod tests {
             .map(|t| t.output_bytes(wf.files()))
             .sum();
         let products_gb = products as f64 / gb;
-        assert!((7.5..=8.3).contains(&products_gb), "products {products_gb} GB");
+        assert!(
+            (7.5..=8.3).contains(&products_gb),
+            "products {products_gb} GB"
+        );
     }
 
     #[test]
@@ -306,7 +341,11 @@ mod tests {
     fn tiny_instance_is_valid_and_same_shape() {
         let wf = montage(MontageConfig::tiny());
         assert_eq!(wf.task_count() as u32, MontageConfig::tiny().task_count());
-        let outputs = wf.files().iter().filter(|f| f.class == FileClass::Output).count();
+        let outputs = wf
+            .files()
+            .iter()
+            .filter(|f| f.class == FileClass::Output)
+            .count();
         assert!(outputs >= 1);
         // Deepest chain: raw -> proj -> diff -> concat -> bgmodel ->
         // background -> (imgtbl) -> add -> shrink -> jpeg.
@@ -336,7 +375,10 @@ mod tests {
         // Every size must produce a valid workflow.
         for d in [1u32, 2, 4] {
             let wf = montage(MontageConfig::degrees(d));
-            assert_eq!(wf.task_count() as u32, MontageConfig::degrees(d).task_count());
+            assert_eq!(
+                wf.task_count() as u32,
+                MontageConfig::degrees(d).task_count()
+            );
         }
     }
 

@@ -113,9 +113,21 @@ pub fn profile(wf: &Workflow) -> Profile {
         workflow: wf.name.clone(),
         io_bytes,
         cpu_secs,
-        io_bytes_per_cpu_sec: if cpu_secs > 0.0 { io_bytes as f64 / cpu_secs } else { 0.0 },
-        cpu_frac_over_1gib: if cpu_secs > 0.0 { cpu_over_1g / cpu_secs } else { 0.0 },
-        cpu_frac_over_512mib: if cpu_secs > 0.0 { cpu_over_512m / cpu_secs } else { 0.0 },
+        io_bytes_per_cpu_sec: if cpu_secs > 0.0 {
+            io_bytes as f64 / cpu_secs
+        } else {
+            0.0
+        },
+        cpu_frac_over_1gib: if cpu_secs > 0.0 {
+            cpu_over_1g / cpu_secs
+        } else {
+            0.0
+        },
+        cpu_frac_over_512mib: if cpu_secs > 0.0 {
+            cpu_over_512m / cpu_secs
+        } else {
+            0.0
+        },
         cpu_time_fraction: if cpu_secs + io_time > 0.0 {
             cpu_secs / (cpu_secs + io_time)
         } else {

@@ -74,14 +74,21 @@ impl SyntheticConfig {
 
 /// Generate a synthetic workflow.
 pub fn synthetic(cfg: SyntheticConfig) -> Workflow {
-    assert!(cfg.width >= 1 && cfg.depth >= 1, "width and depth must be positive");
+    assert!(
+        cfg.width >= 1 && cfg.depth >= 1,
+        "width and depth must be positive"
+    );
     let mut b = WorkflowBuilder::new(format!(
         "synthetic-{:?}-{}x{}",
         cfg.shape, cfg.width, cfg.depth
     ));
     let mut jit = Jitter::new(cfg.seed, "synthetic");
     let mut uid = 11u32;
-    let task = |b: &mut WorkflowBuilder, name: String, ins: Vec<FileId>, outs: Vec<FileId>, jit: &mut Jitter| {
+    let task = |b: &mut WorkflowBuilder,
+                name: String,
+                ins: Vec<FileId>,
+                outs: Vec<FileId>,
+                jit: &mut Jitter| {
         let tid = b.task(
             name,
             "synthetic",
@@ -112,11 +119,23 @@ pub fn synthetic(cfg: SyntheticConfig) -> Workflow {
                 let mut outs = Vec::new();
                 for w in 0..cfg.width {
                     let out = b.file(format!("l{l}_f{w}"), jit.size(cfg.file_bytes, 0.15));
-                    task(&mut b, format!("l{l}_t{w}"), vec![shared], vec![out], &mut jit);
+                    task(
+                        &mut b,
+                        format!("l{l}_t{w}"),
+                        vec![shared],
+                        vec![out],
+                        &mut jit,
+                    );
                     outs.push(out);
                 }
                 let next = b.file(format!("merge_{l}"), jit.size(cfg.file_bytes * 4, 0.1));
-                task(&mut b, format!("collect_{}", l + 1), outs, vec![next], &mut jit);
+                task(
+                    &mut b,
+                    format!("collect_{}", l + 1),
+                    outs,
+                    vec![next],
+                    &mut jit,
+                );
                 shared = next;
             }
         }

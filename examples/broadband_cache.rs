@@ -30,7 +30,10 @@ fn run(label: &str, cfg: RunConfig) {
 fn main() {
     println!("Broadband (768 tasks, 6 GB of heavily reused input) on S3, 4 workers\n");
 
-    run("with client cache (paper setup)", RunConfig::cell(StorageKind::S3, 4));
+    run(
+        "with client cache (paper setup)",
+        RunConfig::cell(StorageKind::S3, 4),
+    );
 
     let mut no_cache = RunConfig::cell(StorageKind::S3, 4);
     no_cache.storage_cfgs = StorageConfigs {

@@ -10,7 +10,11 @@ use ec2_workflow_sim::expt::{cost_figure, render, runtime_figure};
 use ec2_workflow_sim::wfgen::App;
 
 fn main() {
-    for (app, number) in [(App::Montage, 5u32), (App::Epigenome, 6), (App::Broadband, 7)] {
+    for (app, number) in [
+        (App::Montage, 5u32),
+        (App::Epigenome, 6),
+        (App::Broadband, 7),
+    ] {
         let fig = runtime_figure(app, 42);
         let cf = cost_figure(&fig);
         print!("{}", render::cost_figure(&cf, number));

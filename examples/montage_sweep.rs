@@ -27,7 +27,12 @@ fn main() {
                 }
                 let wf = montage(MontageConfig::tiny());
                 let stats = run_workflow(wf, RunConfig::cell(storage, n)).expect("run");
-                println!("{:<24} {:>6} {:>9.1}s", storage.label(), n, stats.makespan_secs);
+                println!(
+                    "{:<24} {:>6} {:>9.1}s",
+                    storage.label(),
+                    n,
+                    stats.makespan_secs
+                );
             }
         }
         return;

@@ -21,10 +21,38 @@ fn main() {
     let r_out = b.file("right.out", 10_000_000);
     let summary = b.file("summary.txt", 1_000_000);
 
-    b.task("split", "splitter", 5.0, 512 << 20, vec![raw], vec![left, right]);
-    b.task("analyze_l", "analyzer", 30.0, 1 << 30, vec![left], vec![l_out]);
-    b.task("analyze_r", "analyzer", 30.0, 1 << 30, vec![right], vec![r_out]);
-    b.task("join", "joiner", 8.0, 512 << 20, vec![l_out, r_out], vec![summary]);
+    b.task(
+        "split",
+        "splitter",
+        5.0,
+        512 << 20,
+        vec![raw],
+        vec![left, right],
+    );
+    b.task(
+        "analyze_l",
+        "analyzer",
+        30.0,
+        1 << 30,
+        vec![left],
+        vec![l_out],
+    );
+    b.task(
+        "analyze_r",
+        "analyzer",
+        30.0,
+        1 << 30,
+        vec![right],
+        vec![r_out],
+    );
+    b.task(
+        "join",
+        "joiner",
+        8.0,
+        512 << 20,
+        vec![l_out, r_out],
+        vec![summary],
+    );
     let wf = b.build().expect("valid DAG");
 
     println!(
@@ -39,7 +67,10 @@ fn main() {
     let cfg = RunConfig::cell(StorageKind::GlusterNufa, 2);
     let stats = run_workflow(wf, cfg).expect("run completes");
 
-    println!("makespan: {:.1}s over {} tasks", stats.makespan_secs, stats.tasks);
+    println!(
+        "makespan: {:.1}s over {} tasks",
+        stats.makespan_secs, stats.tasks
+    );
     println!(
         "I/O fraction: {:.1}% ({:.1}s I/O vs {:.1}s compute across slots)",
         stats.io_fraction() * 100.0,

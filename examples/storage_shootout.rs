@@ -72,9 +72,10 @@ fn main() {
     sweep("many small intermediates (Montage-like)", || {
         small_file_pipeline(300)
     });
-    sweep("large reused files in deep pipelines (Broadband-like)", || {
-        big_reuse_pipeline(24)
-    });
+    sweep(
+        "large reused files in deep pipelines (Broadband-like)",
+        || big_reuse_pipeline(24),
+    );
     println!(
         "Same crossovers as the paper: on the many-small-files workload S3 and\n\
          PVFS trail badly (request/metadata overhead per file) while the POSIX\n\

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 (build + tests) plus lint gates.
+#
+#   scripts/verify.sh          # everything below
+#   scripts/verify.sh --quick  # tier-1 only
+#
+# Tier-1 (ROADMAP.md): cargo build --release && cargo test -q
+# Lint gates:          cargo clippy --workspace --all-targets -- -D warnings
+#                      cargo fmt --check
+# Perf smoke:          repro --bench-smoke (writes BENCH.json; asserts the
+#                      incremental and reference flow engines agree)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q --workspace
+
+if [[ "${1:-}" == "--quick" ]]; then
+    echo "verify (quick): OK"
+    exit 0
+fi
+
+echo "== lint: clippy =="
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "== lint: rustfmt =="
+cargo fmt --check
+
+echo "== perf smoke =="
+cargo run --release -q -p expt --bin repro -- --bench-smoke
+
+echo "verify: OK"

@@ -1,0 +1,146 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark harness
+//! behind the API surface this workspace's benches use (`Criterion`,
+//! `bench_function`, `Bencher::iter`, `criterion_group!`, `criterion_main!`,
+//! `black_box`).
+//!
+//! Each benchmark warms up briefly, then runs timed batches until the
+//! measurement budget is spent, and reports min/mean/median per-iteration
+//! wall time. Tune with `CRITERION_MEASURE_MS` (default 1000) and
+//! `CRITERION_WARMUP_MS` (default 200).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_ms(var: &str, default_ms: u64) -> Duration {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map_or(Duration::from_millis(default_ms), Duration::from_millis)
+}
+
+/// Benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: env_ms("CRITERION_WARMUP_MS", 200),
+            measure: env_ms("CRITERION_MEASURE_MS", 1000),
+            sample_size: usize::MAX,
+        }
+    }
+}
+
+/// Per-benchmark timing collector.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Criterion {
+    /// Cap the number of timed samples per benchmark (builder style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the measurement budget (builder style).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measure = d;
+        self
+    }
+
+    /// Set the warmup budget (builder style).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Run `f` as the benchmark `name` and print a one-line report.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measure: self.measure,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.samples.sort_unstable();
+        if b.samples.is_empty() {
+            println!("{name:<50} (no samples)");
+            return self;
+        }
+        let n = b.samples.len();
+        let min = b.samples[0];
+        let median = b.samples[n / 2];
+        let mean = b.samples.iter().sum::<Duration>() / n as u32;
+        println!(
+            "{name:<50} min {:>12?}  mean {:>12?}  median {:>12?}  ({n} samples)",
+            min, mean, median
+        );
+        self
+    }
+}
+
+impl Bencher {
+    /// Measure repeated executions of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup until the budget is spent (at least one run).
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        // Timed samples: stop at the sample cap or when the budget is
+        // spent, whichever comes first (always at least one sample).
+        let run_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            if self.samples.len() >= self.sample_size || run_start.elapsed() >= self.measure {
+                break;
+            }
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group. Supports both the
+/// positional form and upstream's `name = / config = / targets =` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,150 @@
+//! Offline stand-in for `rayon`, backed by `std::thread::scope`.
+//!
+//! The workspace uses exactly two shapes, both implemented here with real
+//! parallelism:
+//!
+//! - `items.par_iter().map(f).collect::<Vec<_>>()` — chunked fork/join over
+//!   a slice, preserving input order;
+//! - `rayon::join(a, b)` — two closures run concurrently.
+//!
+//! There is no work-stealing pool: each `collect` spawns scoped threads
+//! (bounded by available parallelism), which is plenty for the experiment
+//! grid's coarse cells.
+
+/// Run two closures concurrently, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(a);
+        let rb = b();
+        (handle.join().expect("rayon::join closure panicked"), rb)
+    })
+}
+
+fn worker_count(items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    hw.min(items).max(1)
+}
+
+/// Order-preserving parallel map over a slice.
+fn par_map_slice<'a, T, O, F>(items: &'a [T], f: F) -> Vec<O>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(&'a T) -> O + Sync,
+{
+    let workers = worker_count(items.len());
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut out: Vec<Option<O>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let f = &f;
+        for (slot_chunk, item_chunk) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            scope.spawn(move || {
+                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("parallel map worker panicked"))
+        .collect()
+}
+
+/// Borrowing parallel iterator over a slice (`.par_iter()`).
+pub struct ParIter<'a, T>(&'a [T]);
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Parallel map; evaluation happens in [`ParMap::collect`].
+    pub fn map<O, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        O: Send,
+        F: Fn(&'a T) -> O + Sync,
+    {
+        ParMap { items: self.0, f }
+    }
+}
+
+/// A mapped parallel iterator awaiting `collect`.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F> ParMap<'a, T, F>
+where
+    T: Sync,
+{
+    /// Evaluate in parallel, preserving input order.
+    pub fn collect<O, C>(self) -> C
+    where
+        O: Send,
+        F: Fn(&'a T) -> O + Sync,
+        C: From<Vec<O>>,
+    {
+        par_map_slice(self.items, self.f).into()
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `rayon::prelude`.
+    use super::ParIter;
+
+    /// `par_iter()` entry point for slice-backed collections.
+    pub trait IntoParallelRefIterator<T> {
+        /// A parallel iterator borrowing this collection's elements.
+        fn par_iter(&self) -> ParIter<'_, T>;
+    }
+
+    impl<T: Sync> IntoParallelRefIterator<T> for [T] {
+        fn par_iter(&self) -> ParIter<'_, T> {
+            ParIter(self)
+        }
+    }
+
+    impl<T: Sync> IntoParallelRefIterator<T> for Vec<T> {
+        fn par_iter(&self) -> ParIter<'_, T> {
+            ParIter(self.as_slice())
+        }
+    }
+
+    impl<T: Sync, const N: usize> IntoParallelRefIterator<T> for [T; N] {
+        fn par_iter(&self) -> ParIter<'_, T> {
+            ParIter(self.as_slice())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_on_array() {
+        let out: Vec<u32> = [1u32, 2, 3].par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+}

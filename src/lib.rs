@@ -37,11 +37,11 @@ pub use wfstorage;
 /// Convenience prelude importing the types most programs need.
 pub mod prelude {
     pub use expt::{Cell, CellResult};
-    pub use wfstorage::StorageKind;
     pub use simcore::{Sim, SimDuration, SimTime};
     pub use vcluster::{Cluster, ClusterSpec, InstanceType};
     pub use wfcost::{BillingGranularity, CostModel};
     pub use wfdag::Workflow;
     pub use wfengine::{RunConfig, RunStats, SchedulerPolicy};
     pub use wfgen::{broadband, epigenome, montage};
+    pub use wfstorage::StorageKind;
 }

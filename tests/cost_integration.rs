@@ -12,8 +12,16 @@ fn nfs_carries_the_dedicated_server_surcharge() {
     let gluster = run_cell(Cell::new(App::Epigenome, StorageKind::GlusterNufa, 2), 42).unwrap();
     // Both runs fit in one billed hour: NFS = 3 × $0.68, GlusterFS = 2 × $0.68.
     assert!(nfs.makespan_secs < 3600.0 && gluster.makespan_secs < 3600.0);
-    assert!((nfs.cost_per_hour_usd - 2.04).abs() < 1e-9, "{}", nfs.cost_per_hour_usd);
-    assert!((gluster.cost_per_hour_usd - 1.36).abs() < 1e-9, "{}", gluster.cost_per_hour_usd);
+    assert!(
+        (nfs.cost_per_hour_usd - 2.04).abs() < 1e-9,
+        "{}",
+        nfs.cost_per_hour_usd
+    );
+    assert!(
+        (gluster.cost_per_hour_usd - 1.36).abs() < 1e-9,
+        "{}",
+        gluster.cost_per_hour_usd
+    );
 }
 
 #[test]
@@ -26,7 +34,12 @@ fn s3_request_fees_scale_with_file_count() {
         let (gets, puts) = c.s3_requests;
         puts as f64 / 1000.0 * 0.01 + gets as f64 / 10_000.0 * 0.01
     };
-    assert!(fee(&montage) > 10.0 * fee(&epigenome), "{} vs {}", fee(&montage), fee(&epigenome));
+    assert!(
+        fee(&montage) > 10.0 * fee(&epigenome),
+        "{} vs {}",
+        fee(&montage),
+        fee(&epigenome)
+    );
 }
 
 #[test]
@@ -68,5 +81,9 @@ fn m24_server_cost_reflects_its_price() {
     let r = ec2_workflow_sim::expt::run_cell_with(App::Epigenome, cfg).unwrap();
     // Two c1.xlarge + one m2.4xlarge for one started hour.
     assert!(r.makespan_secs < 3600.0);
-    assert!((r.cost_per_hour_usd - (2.0 * 0.68 + 2.40)).abs() < 1e-9, "{}", r.cost_per_hour_usd);
+    assert!(
+        (r.cost_per_hour_usd - (2.0 * 0.68 + 2.40)).abs() < 1e-9,
+        "{}",
+        r.cost_per_hour_usd
+    );
 }

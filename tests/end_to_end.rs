@@ -42,10 +42,18 @@ fn runs_are_deterministic_across_processes_shapes() {
     // Same seed → identical makespan bits; different seed → (almost
     // surely) different jitter is *not* drawn here because the workflow
     // carries its own seed; the engine seed changes scheduling only.
-    for storage in [StorageKind::Nfs, StorageKind::S3, StorageKind::GlusterDistribute] {
+    for storage in [
+        StorageKind::Nfs,
+        StorageKind::S3,
+        StorageKind::GlusterDistribute,
+    ] {
         let a = run_workflow(App::Broadband.tiny_workflow(), RunConfig::cell(storage, 2)).unwrap();
         let b = run_workflow(App::Broadband.tiny_workflow(), RunConfig::cell(storage, 2)).unwrap();
-        assert_eq!(a.makespan_secs.to_bits(), b.makespan_secs.to_bits(), "{storage:?}");
+        assert_eq!(
+            a.makespan_secs.to_bits(),
+            b.makespan_secs.to_bits(),
+            "{storage:?}"
+        );
         assert_eq!(a.events, b.events, "{storage:?}");
         assert_eq!(a.op_stats, b.op_stats, "{storage:?}");
     }
@@ -70,7 +78,8 @@ fn data_aware_scheduler_never_loses_badly() {
     // The paper suggests data-aware scheduling should help (§IV.A); at
     // minimum it must not catastrophically regress.
     for storage in [StorageKind::S3, StorageKind::GlusterNufa] {
-        let blind = run_workflow(App::Broadband.tiny_workflow(), RunConfig::cell(storage, 4)).unwrap();
+        let blind =
+            run_workflow(App::Broadband.tiny_workflow(), RunConfig::cell(storage, 4)).unwrap();
         let mut cfg = RunConfig::cell(storage, 4);
         cfg.scheduler = SchedulerPolicy::DataAware;
         let aware = run_workflow(App::Broadband.tiny_workflow(), cfg).unwrap();
@@ -94,7 +103,10 @@ fn paper_scale_epigenome_and_broadband_run_everywhere() {
             };
             let stats = run_workflow(app.paper_workflow(), RunConfig::cell(storage, workers))
                 .unwrap_or_else(|e| panic!("{app}/{storage:?}: {e}"));
-            assert!(stats.makespan_secs > 100.0, "{app}/{storage:?} suspiciously fast");
+            assert!(
+                stats.makespan_secs > 100.0,
+                "{app}/{storage:?} suspiciously fast"
+            );
         }
     }
 }
@@ -102,7 +114,11 @@ fn paper_scale_epigenome_and_broadband_run_everywhere() {
 #[test]
 fn s3_write_once_discipline_holds_at_scale() {
     // Every output is PUT exactly once even when tasks run on many nodes.
-    let stats = run_workflow(App::Broadband.paper_workflow(), RunConfig::cell(StorageKind::S3, 8)).unwrap();
+    let stats = run_workflow(
+        App::Broadband.paper_workflow(),
+        RunConfig::cell(StorageKind::S3, 8),
+    )
+    .unwrap();
     let wf = App::Broadband.paper_workflow();
     let produced = wf
         .tasks()
@@ -119,7 +135,8 @@ fn adding_workers_never_hurts_scalable_storage() {
     for storage in [StorageKind::GlusterNufa, StorageKind::S3] {
         let mut prev = f64::INFINITY;
         for n in [2u32, 4, 8] {
-            let stats = run_workflow(App::Broadband.paper_workflow(), RunConfig::cell(storage, n)).unwrap();
+            let stats =
+                run_workflow(App::Broadband.paper_workflow(), RunConfig::cell(storage, n)).unwrap();
             assert!(
                 stats.makespan_secs <= prev * 1.02,
                 "{storage:?}@{n}: {} vs previous {prev}",

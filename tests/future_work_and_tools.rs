@@ -28,8 +28,11 @@ fn direct_transfer_runs_all_apps_and_beats_nfs_for_broadband() {
         nfs.makespan_secs
     );
     for app in [App::Montage, App::Epigenome] {
-        let stats = run_workflow(app.tiny_workflow(), RunConfig::cell(StorageKind::DirectTransfer, 2))
-            .unwrap_or_else(|e| panic!("{app}: {e}"));
+        let stats = run_workflow(
+            app.tiny_workflow(),
+            RunConfig::cell(StorageKind::DirectTransfer, 2),
+        )
+        .unwrap_or_else(|e| panic!("{app}: {e}"));
         assert_eq!(stats.tasks, app.tiny_workflow().task_count());
     }
 }
@@ -97,7 +100,11 @@ fn traces_cover_every_task_of_a_real_run() {
 
 #[test]
 fn resource_rows_name_the_expected_hardware() {
-    let stats = run_workflow(App::Epigenome.tiny_workflow(), RunConfig::cell(StorageKind::Nfs, 2)).unwrap();
+    let stats = run_workflow(
+        App::Epigenome.tiny_workflow(),
+        RunConfig::cell(StorageKind::Nfs, 2),
+    )
+    .unwrap();
     let names: Vec<&str> = stats.resources.iter().map(|r| r.name.as_str()).collect();
     for expected in ["w0.disk", "w0.nic.in", "srv.nic.out", "nfs.ops"] {
         assert!(names.contains(&expected), "missing {expected} in {names:?}");
