@@ -90,6 +90,20 @@ pub struct UsageReport {
     pub s3_peak_bytes: u64,
 }
 
+/// One continuous interval an instance was held. Fault injection splits a
+/// node's lifetime into several segments (crash → replacement); a clean
+/// run has exactly one per node spanning the makespan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BilledSegment {
+    /// The instance type held.
+    pub itype: InstanceType,
+    /// Seconds from acquisition to release (or termination).
+    pub secs: f64,
+    /// Whether this incarnation ran on the spot market (billed at the
+    /// spot rate; its termination wastes the started hour all the same).
+    pub spot: bool,
+}
+
 /// A cost breakdown in cents.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CostBreakdown {
@@ -131,6 +145,32 @@ impl CostModel {
             BillingGranularity::PerHour => (wall_secs / 3600.0).ceil().max(1.0) * hourly,
             BillingGranularity::PerSecond => wall_secs * hourly / 3600.0,
         }
+    }
+
+    /// Instance charges for per-incarnation billing, in cents. Under
+    /// per-hour granularity every segment rounds up on its own clock: a
+    /// node crash or spot termination forfeits the started hour, and the
+    /// replacement instance opens a fresh one — the "wasted partial
+    /// hours" cost of faults (§VI's billing model under churn).
+    pub fn segments_cents(
+        self,
+        segments: &[BilledSegment],
+        granularity: BillingGranularity,
+    ) -> f64 {
+        segments
+            .iter()
+            .map(|s| {
+                let hourly = f64::from(if s.spot {
+                    s.itype.spot_price_cents_per_hour()
+                } else {
+                    s.itype.price_cents_per_hour()
+                });
+                match granularity {
+                    BillingGranularity::PerHour => (s.secs / 3600.0).ceil().max(1.0) * hourly,
+                    BillingGranularity::PerSecond => s.secs * hourly / 3600.0,
+                }
+            })
+            .sum()
     }
 
     /// S3 request charges in cents.
@@ -248,6 +288,72 @@ mod tests {
         let a = m.workflow_cost(&usage(1000.0, 2, false), BillingGranularity::PerSecond);
         let b = m.workflow_cost(&usage(500.0, 4, false), BillingGranularity::PerSecond);
         assert!((a.total_cents() - b.total_cents()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn terminated_segments_waste_the_started_hour() {
+        let m = CostModel::default();
+        // A node that ran 30 min, was replaced, and the replacement ran
+        // another 30 min: two started hours against one for an unbroken
+        // node with the same useful time.
+        let churned = [
+            BilledSegment {
+                itype: InstanceType::C1Xlarge,
+                secs: 1800.0,
+                spot: false,
+            },
+            BilledSegment {
+                itype: InstanceType::C1Xlarge,
+                secs: 1800.0,
+                spot: false,
+            },
+        ];
+        let unbroken = [BilledSegment {
+            itype: InstanceType::C1Xlarge,
+            secs: 3600.0,
+            spot: false,
+        }];
+        let ph = BillingGranularity::PerHour;
+        assert_eq!(m.segments_cents(&churned, ph), 2.0 * 68.0);
+        assert_eq!(m.segments_cents(&unbroken, ph), 68.0);
+        // Per-second billing sees no waste.
+        let ps = BillingGranularity::PerSecond;
+        assert!((m.segments_cents(&churned, ps) - m.segments_cents(&unbroken, ps)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spot_segments_bill_at_the_spot_rate() {
+        let m = CostModel::default();
+        let seg = |spot| BilledSegment {
+            itype: InstanceType::C1Xlarge,
+            secs: 600.0,
+            spot,
+        };
+        let on_demand = m.segments_cents(&[seg(false)], BillingGranularity::PerHour);
+        let spot = m.segments_cents(&[seg(true)], BillingGranularity::PerHour);
+        assert_eq!(on_demand, 68.0);
+        assert_eq!(spot, 26.0);
+    }
+
+    #[test]
+    fn clean_segments_match_usage_report_billing() {
+        // One full-makespan segment per instance must price identically to
+        // the aggregate UsageReport path, so fault-free cost figures are
+        // unchanged by the segment accounting.
+        let m = CostModel::default();
+        let secs = 2750.0;
+        let segs: Vec<BilledSegment> = (0..4)
+            .map(|_| BilledSegment {
+                itype: InstanceType::C1Xlarge,
+                secs,
+                spot: false,
+            })
+            .collect();
+        for g in BillingGranularity::BOTH {
+            let via_segments = m.segments_cents(&segs, g);
+            let via_usage = m.workflow_cost(&usage(secs, 4, false), g).resource_cents;
+            assert!((via_segments - via_usage).abs() < 1e-9, "{g:?}");
+        }
     }
 
     #[test]

@@ -27,6 +27,146 @@ pub struct FailureModel {
     pub max_retries: u32,
 }
 
+/// DAGMan-style exponential retry backoff: attempt `k`'s re-queue is
+/// delayed by `base × factor^(k−1)`, capped at `max`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryBackoff {
+    /// Delay before the first retry.
+    pub base: SimDuration,
+    /// Multiplier applied per further attempt.
+    pub factor: f64,
+    /// Upper bound on the delay.
+    pub max: SimDuration,
+}
+
+impl Default for RetryBackoff {
+    fn default() -> Self {
+        RetryBackoff {
+            base: SimDuration::from_secs(5),
+            factor: 2.0,
+            max: SimDuration::from_secs(300),
+        }
+    }
+}
+
+impl RetryBackoff {
+    /// The delay before re-queuing a task that has failed `attempts`
+    /// times (`attempts ≥ 1`).
+    pub fn delay(&self, attempts: u32) -> SimDuration {
+        let scale = self.factor.powi(attempts.saturating_sub(1).min(30) as i32);
+        let secs = (self.base.as_secs_f64() * scale).min(self.max.as_secs_f64());
+        SimDuration::from_secs_f64(secs)
+    }
+}
+
+/// Node-crash injection: worker instances die mid-run, killing their
+/// in-flight tasks and cancelling their flows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeCrashSpec {
+    /// Per-node Poisson crash rate (crashes per node-hour), sampled from
+    /// the per-node `engine.faults.node.<i>` stream. `0.0` samples
+    /// nothing.
+    pub rate_per_hour: f64,
+    /// Explicit, deterministic crashes: `(worker index, at seconds)` —
+    /// the unit-test and experiment-scenario interface.
+    pub scheduled: Vec<(u32, f64)>,
+    /// Re-provision a replacement instance after a boot delay (70–90 s,
+    /// §V). Without it the node stays gone, which can deadlock the run.
+    pub reprovision: bool,
+}
+
+/// Storage-server/peer failure injection, surfaced to the storage system
+/// through `StorageSystem::on_node_failed`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageFailureSpec {
+    /// Poisson failure rate (failures per hour) of the storage service,
+    /// sampled from the `engine.faults.storage` stream.
+    pub rate_per_hour: f64,
+    /// Explicit failure instants in seconds (deterministic scenarios).
+    pub scheduled: Vec<f64>,
+    /// Service recovery time: how long an NFS-style stall lasts. Peer
+    /// (brick) failures restart empty after the same delay but do not
+    /// stall the run.
+    pub recovery_secs: f64,
+}
+
+/// Spot-market revocation: workers run as spot instances and may be
+/// terminated by price movements; terminated capacity is replaced by
+/// on-demand instances (billed separately — the wasted-partial-hour
+/// cost shows up in the per-segment billing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpotSpec {
+    /// Per-node Poisson termination rate (terminations per node-hour),
+    /// sampled from the per-node `engine.faults.spot.<i>` stream.
+    pub rate_per_hour: f64,
+    /// Replace terminated capacity with an on-demand instance after a
+    /// boot delay.
+    pub replace: bool,
+}
+
+/// The complete multi-layer fault plan. Every stochastic choice draws
+/// from dedicated named RNG streams, so (a) equal seeds give bit-identical
+/// fault timelines and (b) a plan whose rates are all zero consumes no
+/// randomness — such a run is bit-identical to one with no plan at all.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Transient per-execution task failures (the original
+    /// [`FailureModel`], drawn from `engine.faults.task`).
+    pub task_failures: Option<FailureModel>,
+    /// Worker-instance crashes.
+    pub node_crash: Option<NodeCrashSpec>,
+    /// Storage-server/peer failures.
+    pub storage_failure: Option<StorageFailureSpec>,
+    /// Spot-market terminations.
+    pub spot: Option<SpotSpec>,
+    /// Retry backoff applied to every failure class.
+    pub backoff: RetryBackoff,
+    /// Retry budget for fault-killed executions (crashes, storage
+    /// failures, terminations). Transient task failures keep their own
+    /// [`FailureModel::max_retries`] budget.
+    pub max_fault_retries: u32,
+}
+
+impl FaultPlan {
+    /// A plan with every fault class disabled. Present-but-zero plans are
+    /// bit-identical to no plan (the metamorphic property the test suite
+    /// enforces).
+    pub fn zero() -> Self {
+        FaultPlan {
+            task_failures: Some(FailureModel {
+                prob: 0.0,
+                max_retries: 0,
+            }),
+            node_crash: Some(NodeCrashSpec {
+                rate_per_hour: 0.0,
+                scheduled: Vec::new(),
+                reprovision: true,
+            }),
+            storage_failure: Some(StorageFailureSpec {
+                rate_per_hour: 0.0,
+                scheduled: Vec::new(),
+                recovery_secs: 0.0,
+            }),
+            spot: Some(SpotSpec {
+                rate_per_hour: 0.0,
+                replace: true,
+            }),
+            backoff: RetryBackoff::default(),
+            max_fault_retries: 0,
+        }
+    }
+
+    /// Lift a bare [`FailureModel`] (the `RunConfig::failures` field)
+    /// into a plan with only transient task failures.
+    pub fn from_failure_model(fm: FailureModel) -> Self {
+        FaultPlan {
+            task_failures: Some(fm),
+            max_fault_retries: fm.max_retries,
+            ..FaultPlan::default()
+        }
+    }
+}
+
 /// Configuration of one workflow execution.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -49,7 +189,12 @@ pub struct RunConfig {
     /// Storage-system tunables (defaults are paper-calibrated).
     pub storage_cfgs: StorageConfigs,
     /// Optional transient-failure injection with DAGMan-style retries.
+    /// Legacy shorthand: when `faults` is `None`, this is lifted into a
+    /// task-failure-only [`FaultPlan`].
     pub failures: Option<FailureModel>,
+    /// Full multi-layer fault plan (node crashes, storage failover, spot
+    /// termination). Takes precedence over `failures` when set.
+    pub faults: Option<FaultPlan>,
 }
 
 impl RunConfig {
@@ -66,6 +211,7 @@ impl RunConfig {
             job_overhead: SimDuration::from_nanos(250_000_000), // 0.25 s
             storage_cfgs: StorageConfigs::default(),
             failures: None,
+            faults: None,
         }
     }
 

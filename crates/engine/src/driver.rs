@@ -1,8 +1,16 @@
 //! The workflow driver: DAGMan-like dependency release and Condor-like
 //! dispatch, plus the per-job lifecycle
 //! (stage-in → reads → compute → writes → stage-out).
+//!
+//! Fault injection (node crashes, storage failover, spot termination) and
+//! the rescue-DAG recovery pass live in [`crate::failures`]; the driver's
+//! part of the bargain is (a) every lifecycle continuation carries the
+//! task's execution *epoch* and no-ops if the execution was killed, and
+//! (b) writes skip outputs that survived on healthy nodes, so a rescue
+//! re-run regenerates only what was actually lost.
 
-use crate::exec::exec_plan;
+use crate::exec::exec_plan_guarded;
+use crate::failures;
 use crate::world::{TaskRecord, World};
 use simcore::{Sim, SimDuration, SimTime};
 use wfdag::TaskId;
@@ -12,17 +20,24 @@ use wfdag::TaskId;
 /// smaller jobs behind it, but the scan stays bounded.
 const BACKFILL_WINDOW: usize = 64;
 
-/// Kick off the run: pre-stage inputs, release root tasks, dispatch.
+/// Kick off the run: pre-stage inputs, arm the fault plan, release root
+/// tasks, dispatch.
 pub fn start_run(sim: &mut Sim<World>, world: &mut World) {
     let inputs = world.workflow_inputs();
     world.storage.prestage(&world.cluster, &inputs);
+    failures::install_faults(sim, world);
     for t in world.wf.roots() {
         mark_ready(sim, world, t);
     }
     try_dispatch(sim, world);
 }
 
-fn mark_ready(sim: &mut Sim<World>, world: &mut World, task: TaskId) {
+pub(crate) fn mark_ready(sim: &mut Sim<World>, world: &mut World, task: TaskId) {
+    // Rescue-DAG pass: if an input was lost to a storage failure, defer
+    // this task and resubmit the producers of the missing files.
+    if world.any_files_lost && failures::rescue_defer(sim, world, task) {
+        return;
+    }
     world.ready.push_back(task);
     let now = sim.now();
     let attempts = world.records[task.index()].map_or(0, |r| r.attempts);
@@ -44,6 +59,14 @@ fn mark_ready(sim: &mut Sim<World>, world: &mut World, task: TaskId) {
 /// One matchmaking cycle: dispatch every queued job (within the backfill
 /// window) that fits on some node.
 pub fn try_dispatch(sim: &mut Sim<World>, world: &mut World) {
+    if let Some(t) = world.stall_until {
+        // Storage is down and every client call hangs: nothing dispatches
+        // until the service recovers.
+        if sim.now() < t {
+            return;
+        }
+        world.stall_until = None;
+    }
     let mut examined = 0;
     let mut kept = std::collections::VecDeque::new();
     while let Some(task) = world.ready.pop_front() {
@@ -62,6 +85,8 @@ pub fn try_dispatch(sim: &mut Sim<World>, world: &mut World) {
 
 fn dispatch(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: usize) {
     world.reserve(worker_ix, task);
+    world.running[worker_ix].push(task);
+    let epoch = world.epoch[task.index()];
     let node = world.cluster.workers()[worker_ix];
     {
         let rec = world.records[task.index()].as_mut().expect("record exists");
@@ -71,13 +96,16 @@ fn dispatch(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: us
     // DAGMan/Condor per-job overhead is paid while holding the slot.
     let overhead = world.cfg.job_overhead;
     sim.schedule_in(overhead, move |sim, world| {
-        job_ops(sim, world, task, worker_ix);
+        job_ops(sim, world, task, worker_ix, epoch);
     });
 }
 
 /// The task's POSIX operation storm, charged to storage systems with a
 /// central per-op bottleneck (NFS).
-fn job_ops(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: usize) {
+fn job_ops(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: usize, epoch: u32) {
+    if !world.live(task, epoch) {
+        return;
+    }
     world.records[task.index()]
         .as_mut()
         .expect("record")
@@ -85,15 +113,25 @@ fn job_ops(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: usi
     let node = world.cluster.workers()[worker_ix];
     let io_ops = world.wf.task(task).io_ops;
     let plan = world.storage.plan_task_ops(&world.cluster, node, io_ops);
-    exec_plan(
+    exec_plan_guarded(
         sim,
         world,
         plan,
-        Box::new(move |sim, world| job_stage_in(sim, world, task, worker_ix)),
+        Some((task, epoch)),
+        Box::new(move |sim, world| job_stage_in(sim, world, task, worker_ix, epoch)),
     );
 }
 
-fn job_stage_in(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: usize) {
+fn job_stage_in(
+    sim: &mut Sim<World>,
+    world: &mut World,
+    task: TaskId,
+    worker_ix: usize,
+    epoch: u32,
+) {
+    if !world.live(task, epoch) {
+        return;
+    }
     world.records[task.index()]
         .as_mut()
         .expect("record")
@@ -101,15 +139,26 @@ fn job_stage_in(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix
     let node = world.cluster.workers()[worker_ix];
     let inputs = world.task_inputs(task);
     let plan = world.storage.plan_stage_in(&world.cluster, node, &inputs);
-    exec_plan(
+    exec_plan_guarded(
         sim,
         world,
         plan,
-        Box::new(move |sim, world| job_read(sim, world, task, worker_ix, 0)),
+        Some((task, epoch)),
+        Box::new(move |sim, world| job_read(sim, world, task, worker_ix, epoch, 0)),
     );
 }
 
-fn job_read(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: usize, idx: usize) {
+fn job_read(
+    sim: &mut Sim<World>,
+    world: &mut World,
+    task: TaskId,
+    worker_ix: usize,
+    epoch: u32,
+    idx: usize,
+) {
+    if !world.live(task, epoch) {
+        return;
+    }
     if idx == 0 {
         world.records[task.index()]
             .as_mut()
@@ -118,20 +167,39 @@ fn job_read(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: us
     }
     let inputs = world.task_inputs(task);
     if idx >= inputs.len() {
-        job_compute(sim, world, task, worker_ix);
+        job_compute(sim, world, task, worker_ix, epoch);
+        return;
+    }
+    // An input can vanish *after* dispatch (a brick died under us): the
+    // execution fails like a crashed one and the retry's rescue pass
+    // resubmits the producer.
+    if world.any_files_lost
+        && !world
+            .storage
+            .missing_files(&inputs[idx..idx + 1])
+            .is_empty()
+    {
+        failures::kill_task(sim, world, task, worker_ix, true);
         return;
     }
     let node = world.cluster.workers()[worker_ix];
     let plan = world.storage.plan_read(&world.cluster, node, inputs[idx]);
-    exec_plan(
+    exec_plan_guarded(
         sim,
         world,
         plan,
-        Box::new(move |sim, world| job_read(sim, world, task, worker_ix, idx + 1)),
+        Some((task, epoch)),
+        Box::new(move |sim, world| job_read(sim, world, task, worker_ix, epoch, idx + 1)),
     );
 }
 
-fn job_compute(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: usize) {
+fn job_compute(
+    sim: &mut Sim<World>,
+    world: &mut World,
+    task: TaskId,
+    worker_ix: usize,
+    epoch: u32,
+) {
     let node = world.cluster.workers()[worker_ix];
     let speed = world.cluster.node(node).itype.core_speed();
     let dur = SimDuration::from_secs_f64(world.wf.task(task).cpu_secs / speed);
@@ -140,29 +208,25 @@ fn job_compute(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix:
         .expect("record")
         .compute_start = sim.now();
     sim.schedule_in(dur, move |sim, world| {
+        if !world.live(task, epoch) {
+            return;
+        }
         world.records[task.index()]
             .as_mut()
             .expect("record")
             .compute_end = sim.now();
         // Transient-failure injection (before any output is written, so
         // the write-once discipline survives the retry).
-        if let Some(fm) = world.cfg.failures {
-            {
-                let rec = world.records[task.index()].as_mut().expect("record");
-                rec.attempts += 1;
-            }
-            if world.rng.chance(fm.prob) {
-                let attempts = world.records[task.index()].expect("record").attempts;
-                world.release(worker_ix, task);
-                if attempts > fm.max_retries {
-                    world.aborted = Some(task);
-                    // Drain the queue so the run winds down.
-                    world.ready.clear();
-                    return;
-                }
-                world.retries += 1;
-                mark_ready(sim, world, task);
-                try_dispatch(sim, world);
+        let fm = world.faults.as_ref().and_then(|p| p.task_failures);
+        if let Some(fm) = fm {
+            world.records[task.index()]
+                .as_mut()
+                .expect("record")
+                .attempts += 1;
+            // Zero-probability models draw nothing, keeping a zero-rate
+            // plan bit-identical to no plan at all.
+            if fm.prob > 0.0 && world.fault_rng_task.chance(fm.prob) {
+                failures::fail_execution(sim, world, task, worker_ix, fm.max_retries);
                 return;
             }
         } else {
@@ -171,48 +235,102 @@ fn job_compute(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix:
                 .expect("record")
                 .attempts += 1;
         }
-        job_write(sim, world, task, worker_ix, 0);
+        job_write(sim, world, task, worker_ix, epoch, 0);
     });
 }
 
-fn job_write(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: usize, idx: usize) {
+fn job_write(
+    sim: &mut Sim<World>,
+    world: &mut World,
+    task: TaskId,
+    worker_ix: usize,
+    epoch: u32,
+    idx: usize,
+) {
+    if !world.live(task, epoch) {
+        return;
+    }
     let outputs = world.task_outputs(task);
     if idx >= outputs.len() {
-        job_stage_out(sim, world, task, worker_ix);
+        job_stage_out(sim, world, task, worker_ix, epoch);
+        return;
+    }
+    // Skip outputs this workflow already wrote: a retry of an execution
+    // killed mid-write must not write twice, and a rescue re-run reuses
+    // outputs that survived on healthy nodes (failover removed only the
+    // lost ones from `written`).
+    if !world.written.insert(outputs[idx].0) {
+        job_write(sim, world, task, worker_ix, epoch, idx + 1);
         return;
     }
     let node = world.cluster.workers()[worker_ix];
     let plan = world.storage.plan_write(&world.cluster, node, outputs[idx]);
-    exec_plan(
+    exec_plan_guarded(
         sim,
         world,
         plan,
-        Box::new(move |sim, world| job_write(sim, world, task, worker_ix, idx + 1)),
+        Some((task, epoch)),
+        Box::new(move |sim, world| job_write(sim, world, task, worker_ix, epoch, idx + 1)),
     );
 }
 
-fn job_stage_out(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: usize) {
+fn job_stage_out(
+    sim: &mut Sim<World>,
+    world: &mut World,
+    task: TaskId,
+    worker_ix: usize,
+    epoch: u32,
+) {
+    if !world.live(task, epoch) {
+        return;
+    }
     world.records[task.index()]
         .as_mut()
         .expect("record")
         .stage_out_start = sim.now();
     let node = world.cluster.workers()[worker_ix];
-    let outputs = world.task_outputs(task);
+    // Only stage out (and bill) each output once, even across retries.
+    let outputs: Vec<_> = world
+        .task_outputs(task)
+        .into_iter()
+        .filter(|&(f, _)| world.staged_out.insert(f))
+        .collect();
     let plan = world.storage.plan_stage_out(&world.cluster, node, &outputs);
-    exec_plan(
+    exec_plan_guarded(
         sim,
         world,
         plan,
-        Box::new(move |sim, world| job_done(sim, world, task, worker_ix)),
+        Some((task, epoch)),
+        Box::new(move |sim, world| job_done(sim, world, task, worker_ix, epoch)),
     );
 }
 
-fn job_done(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: usize) {
+fn job_done(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: usize, epoch: u32) {
+    if !world.live(task, epoch) {
+        return;
+    }
     world.release(worker_ix, task);
+    world.running[worker_ix].retain(|&t| t != task);
     world.records[task.index()].as_mut().expect("record").end_at = sim.now();
+    world.completed[task.index()] = true;
     world.done += 1;
     if world.done == world.wf.task_count() {
         world.finished_at = Some(sim.now());
+    }
+    if world.rescued.remove(&task) {
+        // A rescue re-run releases only the tasks that were deferred on
+        // it — its original children already ran.
+        let waiters = world.rescue_waiters.remove(&task).unwrap_or_default();
+        for w in waiters {
+            let p = &mut world.pending_parents[w.index()];
+            debug_assert!(*p > 0, "rescue waiter with no pending parents");
+            *p -= 1;
+            if *p == 0 {
+                mark_ready(sim, world, w);
+            }
+        }
+        try_dispatch(sim, world);
+        return;
     }
     // DAGMan releases children whose last parent just finished.
     let children: Vec<TaskId> = world.wf.children(task).to_vec();

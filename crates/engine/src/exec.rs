@@ -1,41 +1,74 @@
 //! Executing storage [`OpPlan`]s against the simulator.
 
 use crate::world::World;
-use simcore::Sim;
+use simcore::{FlowId, Sim};
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
+use wfdag::TaskId;
 use wfstorage::op::{Note, OpPlan, Stage};
 
 /// A continuation fired when an operation completes.
 pub type Cont = Box<dyn FnOnce(&mut Sim<World>, &mut World)>;
 
+/// A `(task, epoch)` pair identifying one task execution. Guarded stages
+/// check it before starting work (a killed execution's stale events
+/// no-op) and register their flows so a kill can cancel them.
+pub type ExecGuard = Option<(TaskId, u32)>;
+
 /// Execute a plan: background stages are queued onto the world's single
 /// writeback stream; foreground stages run in order; `done` fires when the
 /// last foreground stage completes.
 pub fn exec_plan(sim: &mut Sim<World>, world: &mut World, plan: OpPlan, done: Cont) {
+    exec_plan_guarded(sim, world, plan, None, done);
+}
+
+/// [`exec_plan`] on behalf of one task execution: if the execution dies
+/// (node crash, storage failover, spot termination), pending latency
+/// events no-op and registered flows are cancelled by the kill path.
+/// Background stages stay unguarded — writeback belongs to the storage
+/// service, not the task.
+pub fn exec_plan_guarded(
+    sim: &mut Sim<World>,
+    world: &mut World,
+    plan: OpPlan,
+    guard: ExecGuard,
+    done: Cont,
+) {
     for (stage, note) in plan.background {
         enqueue_background(sim, world, stage, note);
     }
-    exec_stages(sim, world, plan.stages.into(), done);
+    exec_stages(sim, world, plan.stages.into(), guard, done);
 }
 
 /// Run stages sequentially, then `done`.
-fn exec_stages(sim: &mut Sim<World>, world: &mut World, mut stages: VecDeque<Stage>, done: Cont) {
+fn exec_stages(
+    sim: &mut Sim<World>,
+    world: &mut World,
+    mut stages: VecDeque<Stage>,
+    guard: ExecGuard,
+    done: Cont,
+) {
     match stages.pop_front() {
         None => done(sim, world),
         Some(stage) => exec_stage(
             sim,
             stage,
-            Box::new(move |sim, world| exec_stages(sim, world, stages, done)),
+            guard,
+            Box::new(move |sim, world| exec_stages(sim, world, stages, guard, done)),
         ),
     }
 }
 
 /// Run one stage: pay the latency, then run all legs in parallel; `done`
 /// fires when the last leg lands.
-fn exec_stage(sim: &mut Sim<World>, stage: Stage, done: Cont) {
+fn exec_stage(sim: &mut Sim<World>, stage: Stage, guard: ExecGuard, done: Cont) {
     sim.schedule_in(stage.latency, move |sim, world| {
+        if let Some((task, epoch)) = guard {
+            if !world.live(task, epoch) {
+                return;
+            }
+        }
         if stage.legs.is_empty() {
             done(sim, world);
             return;
@@ -45,7 +78,14 @@ fn exec_stage(sim: &mut Sim<World>, stage: Stage, done: Cont) {
         for leg in &stage.legs {
             let remaining = Rc::clone(&remaining);
             let done_slot = Rc::clone(&done_slot);
-            sim.start_flow(leg.to_spec(), move |sim, world| {
+            // The flow's own id, captured by its completion callback so
+            // it can unregister itself (set right after start_flow).
+            let id_cell: Rc<Cell<Option<FlowId>>> = Rc::new(Cell::new(None));
+            let id_for_cb = Rc::clone(&id_cell);
+            let id = sim.start_flow(leg.to_spec(), move |sim, world| {
+                if let (Some((task, _)), Some(id)) = (guard, id_for_cb.get()) {
+                    world.unregister_flow(task, id);
+                }
                 remaining.set(remaining.get() - 1);
                 if remaining.get() == 0 {
                     let d = done_slot
@@ -55,6 +95,10 @@ fn exec_stage(sim: &mut Sim<World>, stage: Stage, done: Cont) {
                     d(sim, world);
                 }
             });
+            id_cell.set(id);
+            if let (Some((task, _)), Some(id)) = (guard, id) {
+                world.register_flow(task, id);
+            }
         }
     });
 }
@@ -77,6 +121,7 @@ fn start_next_background(sim: &mut Sim<World>, world: &mut World) {
     exec_stage(
         sim,
         stage,
+        None,
         Box::new(move |sim, world| {
             if let Some(n) = note {
                 world.storage.on_background_done(n);

@@ -36,10 +36,13 @@ pub mod run;
 pub mod trace;
 pub mod world;
 
-pub use config::{FailureModel, RunConfig, SchedulerPolicy};
-pub use run::{run_workflow, ResourceRow, RunError, RunStats};
-pub use trace::{jobstate_log, phase_breakdown, PhaseBreakdown};
-pub use world::{NodeSched, TaskRecord, World};
+pub use config::{
+    FailureModel, FaultPlan, NodeCrashSpec, RetryBackoff, RunConfig, SchedulerPolicy, SpotSpec,
+    StorageFailureSpec,
+};
+pub use run::{run_workflow, FaultSummary, ResourceRow, RunError, RunStats};
+pub use trace::{jobstate_log, phase_breakdown, render_fault_summary, PhaseBreakdown};
+pub use world::{FaultCounters, NodeSched, NodeSegment, TaskRecord, World};
 
 #[cfg(test)]
 mod tests {

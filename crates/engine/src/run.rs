@@ -6,8 +6,33 @@ use crate::world::{TaskRecord, World};
 use serde::{Deserialize, Serialize};
 use simcore::{Sim, SimTime};
 use vcluster::Cluster;
+use wfcost::BilledSegment;
 use wfdag::Workflow;
 use wfstorage::{build_storage, cluster_spec_for, StorageBilling, StorageOpStats};
+
+/// Injected faults and the recovery work they caused, plus the billing
+/// segments the instance churn produced (feed them to
+/// `wfcost::PriceBook::segments_cents` for the fault-adjusted bill).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Worker instances that crashed.
+    pub node_crashes: u64,
+    /// Spot instances revoked by the market.
+    pub spot_terminations: u64,
+    /// Storage service failures injected.
+    pub storage_failures: u64,
+    /// Executions killed mid-flight by a fault.
+    pub tasks_killed: u64,
+    /// Completed tasks resubmitted by the rescue-DAG pass.
+    pub rescue_resubmits: u64,
+    /// Files reported lost by storage failover.
+    pub files_lost: u64,
+    /// Slot-seconds of partially-executed work thrown away by kills.
+    pub wasted_task_secs: f64,
+    /// Billed lease intervals, one per instance incarnation. A fault-free
+    /// run has exactly one full-makespan segment per node.
+    pub segments: Vec<BilledSegment>,
+}
 
 /// What a run produced.
 #[derive(Debug, Clone)]
@@ -28,6 +53,8 @@ pub struct RunStats {
     pub total_cpu_secs: f64,
     /// Task re-executions after injected failures.
     pub retries: u64,
+    /// Fault injections and recovery work (all zero without a plan).
+    pub faults: FaultSummary,
     /// Per-task execution records, indexed by task id.
     pub records: Vec<TaskRecord>,
     /// Per-resource usage rows (disks, NICs, servers), for utilization
@@ -174,6 +201,33 @@ pub fn run_workflow(workflow: Workflow, cfg: RunConfig) -> Result<RunStats, RunE
         })
         .collect();
 
+    // Billing segments: close every still-open lease at the moment the
+    // workflow finished (events after the last completion — late fault
+    // draws, drained timers — must not inflate the bill).
+    let finished = makespan(&world).expect("all tasks done");
+    let mut segments = Vec::new();
+    for (i, node) in world.cluster.nodes().iter().enumerate() {
+        for seg in &world.node_segments[i] {
+            let close = seg.close.unwrap_or(finished);
+            segments.push(BilledSegment {
+                itype: node.itype,
+                secs: close.since(seg.open).as_secs_f64(),
+                spot: seg.spot,
+            });
+        }
+    }
+    let c = world.fault_counters;
+    let faults = FaultSummary {
+        node_crashes: c.node_crashes,
+        spot_terminations: c.spot_terminations,
+        storage_failures: c.storage_failures,
+        tasks_killed: c.tasks_killed,
+        rescue_resubmits: c.rescue_resubmits,
+        files_lost: c.files_lost,
+        wasted_task_secs: c.wasted_task_secs,
+        segments,
+    };
+
     Ok(RunStats {
         makespan_secs,
         tasks: total,
@@ -183,6 +237,7 @@ pub fn run_workflow(workflow: Workflow, cfg: RunConfig) -> Result<RunStats, RunE
         total_io_secs,
         total_cpu_secs,
         retries: world.retries,
+        faults,
         records,
         resources,
     })

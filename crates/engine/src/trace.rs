@@ -157,6 +157,23 @@ pub fn render_gantt(stats: &RunStats, workers: u32, width: usize) -> String {
     s
 }
 
+/// Render the fault/recovery counters of a run — what was injected, what
+/// it killed, and how much work was wasted and redone.
+pub fn render_fault_summary(f: &crate::run::FaultSummary) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "FAULTS — injections, kills and recovery work");
+    let _ = writeln!(s, "  node crashes       {:>8}", f.node_crashes);
+    let _ = writeln!(s, "  spot terminations  {:>8}", f.spot_terminations);
+    let _ = writeln!(s, "  storage failures   {:>8}", f.storage_failures);
+    let _ = writeln!(s, "  files lost         {:>8}", f.files_lost);
+    let _ = writeln!(s, "  tasks killed       {:>8}", f.tasks_killed);
+    let _ = writeln!(s, "  rescue resubmits   {:>8}", f.rescue_resubmits);
+    let _ = writeln!(s, "  wasted work        {:>8.1}s", f.wasted_task_secs);
+    let churned = f.segments.iter().filter(|g| g.secs > 0.0).count();
+    let _ = writeln!(s, "  billing segments   {:>8}", churned);
+    s
+}
+
 /// The busiest resources of a run, by mean utilization — the first place
 /// to look when asking "what limited this configuration?".
 pub fn hottest_resources(stats: &RunStats, top: usize) -> String {

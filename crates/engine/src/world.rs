@@ -1,10 +1,10 @@
 //! The simulation world: cluster + storage + workflow-management state.
 
-use crate::config::{RunConfig, SchedulerPolicy};
-use simcore::{DetRng, SimTime};
-use std::collections::VecDeque;
+use crate::config::{FaultPlan, RunConfig, SchedulerPolicy};
+use simcore::{DetRng, FlowId, SimTime};
+use std::collections::{HashMap, HashSet, VecDeque};
 use vcluster::{Cluster, NodeId};
-use wfdag::{FileClass, TaskId, Workflow};
+use wfdag::{FileClass, FileId, TaskId, Workflow};
 use wfstorage::op::{Note, Stage};
 use wfstorage::{FileRef, StorageSystem};
 
@@ -17,9 +17,43 @@ pub struct NodeSched {
     pub free_mem: u64,
 }
 
+/// One billed lease interval of a cluster node. Crashes and spot
+/// terminations close the segment (wasting the started hour under
+/// per-hour billing); re-provisioning opens a new one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSegment {
+    /// When the instance came up.
+    pub open: SimTime,
+    /// When it went away (`None` while still running).
+    pub close: Option<SimTime>,
+    /// Whether this incarnation was a spot instance.
+    pub spot: bool,
+}
+
+/// Counters of injected faults and recovery work, accumulated over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultCounters {
+    /// Worker instances that crashed.
+    pub node_crashes: u64,
+    /// Spot instances revoked by the market.
+    pub spot_terminations: u64,
+    /// Storage service failures injected.
+    pub storage_failures: u64,
+    /// Executions killed mid-flight by a fault (excludes transient
+    /// task failures, which abort cleanly at compute end).
+    pub tasks_killed: u64,
+    /// Completed tasks resubmitted by the rescue-DAG pass because an
+    /// output of theirs was lost.
+    pub rescue_resubmits: u64,
+    /// Files reported lost by storage failover.
+    pub files_lost: u64,
+    /// Slot-seconds of partially-executed work thrown away by kills.
+    pub wasted_task_secs: f64,
+}
+
 /// Timing record of one executed task (of its final, successful attempt;
 /// earlier failed attempts only contribute to `attempts`).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskRecord {
     /// Node the task ran on.
     pub node: NodeId,
@@ -127,6 +161,61 @@ pub struct World {
     pub rr_cursor: usize,
     /// Randomness for tie-breaking.
     pub rng: DetRng,
+
+    /// Effective fault plan: `cfg.faults`, or `cfg.failures` lifted into
+    /// a task-failure-only plan.
+    pub faults: Option<FaultPlan>,
+    /// Per-task execution epoch. A fault kill bumps it, so continuations
+    /// of the dead execution (which captured the old epoch) no-op.
+    pub epoch: Vec<u32>,
+    /// Tasks currently holding a slot on each worker.
+    pub running: Vec<Vec<TaskId>>,
+    /// Active flow registrations per task, cancelled when the task is
+    /// killed.
+    pub inflight: HashMap<TaskId, Vec<FlowId>>,
+    /// Whether each worker is up.
+    pub node_up: Vec<bool>,
+    /// Per-worker incarnation counter; crash and recovery events carry
+    /// the incarnation they were scheduled against and skip if stale.
+    pub node_incarnation: Vec<u32>,
+    /// Whether each worker's current incarnation is a spot instance.
+    pub node_spot: Vec<bool>,
+    /// Per-task completion flags (the rescue-DAG pass clears one when it
+    /// resubmits a finished task whose outputs were lost).
+    pub completed: Vec<bool>,
+    /// Tasks resubmitted by the rescue pass and not yet re-finished.
+    pub rescued: HashSet<TaskId>,
+    /// Tasks deferred until a rescued producer re-finishes.
+    pub rescue_waiters: HashMap<TaskId, Vec<TaskId>>,
+    /// Producing task of every non-input file.
+    pub producer_of: HashMap<FileId, TaskId>,
+    /// Files whose `plan_write` was issued. A retry of an execution
+    /// killed mid-write skips these (re-writing would violate the
+    /// storage write-once discipline); storage failover removes lost
+    /// files so rescue re-runs regenerate exactly what vanished.
+    pub written: HashSet<FileId>,
+    /// Files already covered by a `plan_stage_out` call, so a retried
+    /// execution does not stage out (and bill) the same output twice.
+    pub staged_out: HashSet<FileId>,
+    /// Set once any storage failover reported lost files; gates the
+    /// rescue checks so fault-free runs skip them entirely.
+    pub any_files_lost: bool,
+    /// While `Some(t)` and `now < t`, dispatch is suspended (NFS-style
+    /// whole-run stall on server failure).
+    pub stall_until: Option<SimTime>,
+    /// Fault/recovery counters for the run report.
+    pub fault_counters: FaultCounters,
+    /// Billing segments per cluster node (indexed by `NodeId::index`).
+    pub node_segments: Vec<Vec<NodeSegment>>,
+    /// Fault stream: transient task-failure coin flips.
+    pub fault_rng_task: DetRng,
+    /// Fault stream: storage failure timing and victim choice.
+    pub fault_rng_storage: DetRng,
+    /// Per-worker fault streams: crash timing and boot delays. Per-node
+    /// streams keep draws independent of event interleaving.
+    pub fault_rng_node: Vec<DetRng>,
+    /// Per-worker fault streams: spot termination timing.
+    pub fault_rng_spot: Vec<DetRng>,
 }
 
 impl World {
@@ -152,11 +241,46 @@ impl World {
             })
             .collect();
         let rng = DetRng::stream(cfg.seed, "engine.schedule");
+        let faults = cfg
+            .faults
+            .clone()
+            .or_else(|| cfg.failures.map(FaultPlan::from_failure_model));
+        let workers = cluster.workers().len();
+        // A zero-rate spot spec is inert: workers stay on-demand, so a
+        // FaultPlan::zero() run bills identically to a plan-free run.
+        let spot_active = faults
+            .as_ref()
+            .and_then(|p| p.spot.as_ref())
+            .is_some_and(|s| s.rate_per_hour > 0.0);
+        let worker_set: HashSet<NodeId> = cluster.workers().iter().copied().collect();
+        let node_segments = cluster
+            .nodes()
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                vec![NodeSegment {
+                    open: SimTime::ZERO,
+                    close: None,
+                    spot: spot_active && worker_set.contains(&NodeId(i as u32)),
+                }]
+            })
+            .collect();
+        let mut producer_of = HashMap::new();
+        for (i, t) in wf.tasks().iter().enumerate() {
+            for &f in &t.outputs {
+                producer_of.insert(f, TaskId(i as u32));
+            }
+        }
+        let fault_rng_node = (0..workers)
+            .map(|i| DetRng::stream(cfg.seed, &format!("engine.faults.node.{i}")))
+            .collect();
+        let fault_rng_spot = (0..workers)
+            .map(|i| DetRng::stream(cfg.seed, &format!("engine.faults.spot.{i}")))
+            .collect();
         World {
             cluster,
             storage,
             wf,
-            cfg,
             pending_parents,
             ready: VecDeque::new(),
             node_sched,
@@ -169,7 +293,74 @@ impl World {
             bg_active: false,
             rr_cursor: 0,
             rng,
+            faults,
+            epoch: vec![0; n],
+            running: vec![Vec::new(); workers],
+            inflight: HashMap::new(),
+            node_up: vec![true; workers],
+            node_incarnation: vec![0; workers],
+            node_spot: vec![spot_active; workers],
+            completed: vec![false; n],
+            rescued: HashSet::new(),
+            rescue_waiters: HashMap::new(),
+            producer_of,
+            written: HashSet::new(),
+            staged_out: HashSet::new(),
+            any_files_lost: false,
+            stall_until: None,
+            fault_counters: FaultCounters::default(),
+            node_segments,
+            fault_rng_task: DetRng::stream(cfg.seed, "engine.faults.task"),
+            fault_rng_storage: DetRng::stream(cfg.seed, "engine.faults.storage"),
+            fault_rng_node,
+            fault_rng_spot,
+            cfg,
         }
+    }
+
+    /// Is `epoch` still the live execution of `task`?
+    pub fn live(&self, task: TaskId, epoch: u32) -> bool {
+        self.epoch[task.index()] == epoch
+    }
+
+    /// Has the run reached a terminal state (all tasks done, or aborted)?
+    /// Fault event handlers check this first so post-run events are pure
+    /// no-ops and the simulation drains.
+    pub fn run_over(&self) -> bool {
+        self.done == self.wf.task_count() || self.aborted.is_some()
+    }
+
+    /// Register an active flow belonging to `task`'s current execution.
+    pub fn register_flow(&mut self, task: TaskId, id: FlowId) {
+        self.inflight.entry(task).or_default().push(id);
+    }
+
+    /// Drop a completed flow's registration.
+    pub fn unregister_flow(&mut self, task: TaskId, id: FlowId) {
+        if let Some(ids) = self.inflight.get_mut(&task) {
+            ids.retain(|&i| i != id);
+            if ids.is_empty() {
+                self.inflight.remove(&task);
+            }
+        }
+    }
+
+    /// Close the open billing segment of cluster node `node_ix`.
+    pub fn close_segment(&mut self, node_ix: usize, at: SimTime) {
+        if let Some(seg) = self.node_segments[node_ix].last_mut() {
+            if seg.close.is_none() {
+                seg.close = Some(at);
+            }
+        }
+    }
+
+    /// Open a fresh billing segment on cluster node `node_ix`.
+    pub fn open_segment(&mut self, node_ix: usize, at: SimTime, spot: bool) {
+        self.node_segments[node_ix].push(NodeSegment {
+            open: at,
+            close: None,
+            spot,
+        });
     }
 
     /// Input `FileRef`s of a task.

@@ -1,0 +1,156 @@
+//! Metamorphic property tests for the fault-injection subsystem.
+//!
+//! Two invariants, checked over randomly generated DAGs, storage options
+//! and seeds:
+//!
+//! 1. **Zero-rate plans are invisible.** A [`FaultPlan`] whose every
+//!    class is present but rated zero draws nothing from the fault RNG
+//!    streams and schedules no events, so the run must be *bit-identical*
+//!    to one with no plan at all — makespan bits, event counts, per-task
+//!    records, retry counters and billing segments.
+//! 2. **Post-finish faults are no-ops.** A node crash scheduled after the
+//!    last task completes must change nothing: the simulation drains the
+//!    stale event without side effects, and no counter or segment moves.
+
+use proptest::prelude::*;
+use wfengine::{run_workflow, FaultPlan, NodeCrashSpec, RunConfig, RunStats};
+use wfstorage::StorageKind;
+
+/// Generation parameters of one task: compute seconds, output size, and
+/// a parent-selection mask over earlier tasks.
+#[derive(Debug, Clone, Copy)]
+struct GenTask {
+    cpu_ds: u16,
+    out_mb: u8,
+    parent_mask: u32,
+}
+
+fn gen_task() -> impl Strategy<Value = GenTask> {
+    (1u16..50, 1u8..20, 0u32..=u32::MAX).prop_map(|(cpu_ds, out_mb, parent_mask)| GenTask {
+        cpu_ds,
+        out_mb,
+        parent_mask,
+    })
+}
+
+/// Build a random but well-formed DAG: task `i` consumes the outputs of
+/// the earlier tasks its mask selects (plus a common input for roots).
+fn build_workflow(tasks: &[GenTask]) -> wfdag::Workflow {
+    let mut b = wfdag::WorkflowBuilder::new("prop");
+    let root_in = b.file("in.dat", 2_000_000);
+    let mut outs = Vec::new();
+    for (i, t) in tasks.iter().enumerate() {
+        let out = b.file(format!("f{i}.dat"), u64::from(t.out_mb) * 1_000_000);
+        let parents: Vec<_> = (0..i)
+            .filter(|j| t.parent_mask >> (j % 32) & 1 == 1)
+            .map(|j| outs[j])
+            .collect();
+        let inputs = if parents.is_empty() {
+            vec![root_in]
+        } else {
+            parents
+        };
+        b.task(
+            format!("t{i}"),
+            "w",
+            f64::from(t.cpu_ds) / 10.0,
+            128 << 20,
+            inputs,
+            vec![out],
+        );
+        outs.push(out);
+    }
+    b.build().expect("generated DAG is acyclic by construction")
+}
+
+const KINDS: [StorageKind; 5] = [
+    StorageKind::Nfs,
+    StorageKind::S3,
+    StorageKind::GlusterNufa,
+    StorageKind::GlusterDistribute,
+    StorageKind::Pvfs,
+];
+
+fn run(
+    tasks: &[GenTask],
+    kind_ix: usize,
+    workers: u32,
+    seed: u64,
+    plan: Option<FaultPlan>,
+) -> RunStats {
+    let mut cfg = RunConfig::cell(KINDS[kind_ix % KINDS.len()], workers).with_seed(seed);
+    cfg.faults = plan;
+    run_workflow(build_workflow(tasks), cfg).expect("fault-free run succeeds")
+}
+
+/// Bit-level equality of everything a report serialises (event counts
+/// are checked separately: a drained post-finish fault timer is still an
+/// event, even though it has no observable effect).
+fn assert_bit_identical(a: &RunStats, b: &RunStats) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        a.makespan_secs.to_bits(),
+        b.makespan_secs.to_bits(),
+        "makespan diverged: {} vs {}",
+        a.makespan_secs,
+        b.makespan_secs
+    );
+    prop_assert_eq!(a.retries, b.retries);
+    prop_assert_eq!(&a.records, &b.records, "per-task records diverged");
+    prop_assert_eq!(&a.faults.segments, &b.faults.segments, "segments diverged");
+    prop_assert_eq!(
+        a.total_io_secs.to_bits(),
+        b.total_io_secs.to_bits(),
+        "io seconds diverged"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Invariant 1: present-but-zero fault plans change nothing.
+    #[test]
+    fn zero_rate_plan_is_bit_identical_to_no_plan(
+        tasks in proptest::collection::vec(gen_task(), 1..10),
+        kind_ix in 0usize..KINDS.len(),
+        workers in 2u32..5,
+        seed in 0u64..=u64::MAX,
+    ) {
+        let clean = run(&tasks, kind_ix, workers, seed, None);
+        let zeroed = run(&tasks, kind_ix, workers, seed, Some(FaultPlan::zero()));
+        assert_bit_identical(&clean, &zeroed)?;
+        prop_assert_eq!(clean.events, zeroed.events, "zero-rate plan scheduled events");
+        prop_assert_eq!(zeroed.faults.node_crashes, 0);
+        prop_assert_eq!(zeroed.faults.tasks_killed, 0);
+    }
+
+    /// Invariant 2: a crash scheduled after the last task finishes is a
+    /// pure no-op — same bits, no counters, no extra segments.
+    #[test]
+    fn crash_after_finish_changes_nothing(
+        tasks in proptest::collection::vec(gen_task(), 1..10),
+        kind_ix in 0usize..KINDS.len(),
+        workers in 2u32..5,
+        seed in 0u64..=u64::MAX,
+        victim in 0u32..4,
+        delay_ds in 1u32..1000,
+    ) {
+        let clean = run(&tasks, kind_ix, workers, seed, None);
+        let mut plan = FaultPlan::zero();
+        plan.node_crash = Some(NodeCrashSpec {
+            rate_per_hour: 0.0,
+            scheduled: vec![(
+                victim % workers,
+                clean.makespan_secs + f64::from(delay_ds) / 10.0,
+            )],
+            reprovision: true,
+        });
+        let late = run(&tasks, kind_ix, workers, seed, Some(plan));
+        assert_bit_identical(&clean, &late)?;
+        // The stale crash timer still drains through the event queue —
+        // exactly one extra event, with no observable effect.
+        prop_assert_eq!(late.events, clean.events + 1);
+        prop_assert_eq!(late.faults.node_crashes, 0, "post-finish crash counted");
+        prop_assert_eq!(late.faults.wasted_task_secs.to_bits(), 0.0f64.to_bits());
+    }
+}

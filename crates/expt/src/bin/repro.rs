@@ -94,6 +94,16 @@ fn main() {
         Some(f)
     };
 
+    let faults = if skip_ablations {
+        None
+    } else {
+        let t = Instant::now();
+        let study = expt::faults::run_f2(&App::ALL, seed);
+        print!("{}", expt::faults::render(&study));
+        println!("  (fault study in {:.1?})\n", t.elapsed());
+        Some(study)
+    };
+
     let clustering = if skip_ablations {
         None
     } else {
@@ -154,7 +164,7 @@ fn main() {
         println!();
     }
 
-    let report = Report::assemble(seed, t1, mb, figs, x, abl, fw, clustering);
+    let report = Report::assemble(seed, t1, mb, figs, x, abl, fw, faults, clustering);
     print!("{}", render::shape_checks(&report.checks));
 
     let (passed, total) = report.score();

@@ -10,6 +10,7 @@
 //! * XtreemFS note — [`figures::xtreemfs_note`] (E8)
 //! * Ablations A1–A5 — [`ablations`]
 //! * F1 future work (direct node-to-node transfers) — [`future_work`]
+//! * F2 fault injection and recovery (beyond paper) — [`faults`]
 //! * E9 end-to-end provisioning + WAN staging (beyond paper) — [`staging`]
 //! * Qualitative shape checks against §V–§VI claims — [`shape`]
 //!
@@ -21,6 +22,7 @@
 
 pub mod ablations;
 pub mod analysis;
+pub mod faults;
 pub mod figures;
 pub mod future_work;
 pub mod grid;
@@ -31,6 +33,7 @@ pub mod report;
 pub mod shape;
 pub mod staging;
 
+pub use faults::{FaultRow, FaultScenario, FaultStudy};
 pub use figures::{cost_figure, runtime_figure, table1, xtreemfs_note, RuntimeFigure, Table1};
 pub use grid::{figure_cells, run_cell, run_cell_with, run_cells, Cell, CellResult, NODE_COUNTS};
 pub use report::Report;

@@ -2,6 +2,7 @@
 
 use crate::ablations::Ablations;
 use crate::analysis::{ClusteringRow, SpeedupRow};
+use crate::faults::FaultStudy;
 use crate::figures::{cost_figure, CostFigure, RuntimeFigure, Table1, XtreemFsNote};
 use crate::future_work::FutureWork;
 use crate::microbench::DiskMicrobench;
@@ -27,6 +28,8 @@ pub struct Report {
     pub ablations: Option<Ablations>,
     /// F1: the §VIII future-work comparison.
     pub future_work: Option<FutureWork>,
+    /// F2: the fault-injection study.
+    pub faults: Option<FaultStudy>,
     /// A6: the horizontal-clustering study.
     pub clustering: Option<Vec<ClusteringRow>>,
     /// Speedup/efficiency tables derived from the runtime figures.
@@ -46,9 +49,13 @@ impl Report {
         xtreemfs: XtreemFsNote,
         ablations: Option<Ablations>,
         future_work: Option<FutureWork>,
+        faults: Option<FaultStudy>,
         clustering: Option<Vec<ClusteringRow>>,
     ) -> Report {
-        let checks = crate::shape::check_all(&runtime_figures, &table1, &xtreemfs);
+        let mut checks = crate::shape::check_all(&runtime_figures, &table1, &xtreemfs);
+        if let Some(study) = &faults {
+            checks.extend(crate::faults::check_f2(study));
+        }
         let cost_figures = runtime_figures.iter().map(cost_figure).collect();
         let speedups = runtime_figures
             .iter()
@@ -63,6 +70,7 @@ impl Report {
             xtreemfs,
             ablations,
             future_work,
+            faults,
             clustering,
             speedups,
             checks,

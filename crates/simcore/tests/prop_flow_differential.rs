@@ -54,6 +54,10 @@ enum Op {
     Start(usize),
     /// Cancel the `k`-th flow ever started (if still active).
     Cancel(usize),
+    /// Cancel every active flow touching resource `r` in one burst — the
+    /// flow-level shape of a node crash (the engine cancels all of a dead
+    /// node's transfers inside a single event).
+    Crash(usize),
 }
 
 /// Drive both engines through the same schedule, asserting agreement after
@@ -63,6 +67,7 @@ fn run_differential(
     caps: &[f64],
     flows: &[GenFlow],
     cancels: &[(usize, u64)],
+    crashes: &[(usize, u64)],
     force_shared: bool,
     tol_ns: impl Fn(u64) -> u64,
 ) -> Result<(), TestCaseError> {
@@ -87,12 +92,17 @@ fn run_differential(
     for &(k, ms) in cancels {
         ops.push((ms * 1_000_000, ops.len(), Op::Cancel(k)));
     }
+    for &(r, ms) in crashes {
+        ops.push((ms * 1_000_000, ops.len(), Op::Crash(r % caps.len())));
+    }
     ops.sort_by_key(|&(t, seq, _)| (t, seq));
 
+    let mut paths: Vec<(FlowId, Vec<usize>)> = Vec::new();
     let mut started: Vec<FlowId> = Vec::new();
     let mut active: Vec<FlowId> = Vec::new();
     let mut op_ix = 0;
     let mut completions = 0u32;
+    let mut cancelled = 0u32;
 
     loop {
         let next_op = ops.get(op_ix).map(|&(t, _, _)| t);
@@ -132,6 +142,7 @@ fn run_differential(
                     let id_n = naive.start(now, spec, i);
                     let id_i = inc.start(now, build(&rids_i), i);
                     prop_assert_eq!(id_n, id_i, "flow ids diverged");
+                    paths.push((id_n, path));
                     started.push(id_n);
                     active.push(id_n);
                 }
@@ -143,7 +154,28 @@ fn run_differential(
                     let got_n = naive.cancel(now, id);
                     let got_i = inc.cancel(now, id);
                     prop_assert_eq!(got_n, got_i, "cancel payloads diverged");
+                    if active.contains(&id) {
+                        cancelled += 1;
+                    }
                     active.retain(|&a| a != id);
+                }
+                Op::Crash(r) => {
+                    let victims: Vec<FlowId> = active
+                        .iter()
+                        .copied()
+                        .filter(|id| {
+                            paths
+                                .iter()
+                                .any(|(pid, path)| pid == id && path.contains(&r))
+                        })
+                        .collect();
+                    for id in victims {
+                        let got_n = naive.cancel(now, id);
+                        let got_i = inc.cancel(now, id);
+                        prop_assert_eq!(got_n, got_i, "crash-cancel payloads diverged");
+                        active.retain(|&a| a != id);
+                        cancelled += 1;
+                    }
                 }
             }
         } else {
@@ -184,7 +216,7 @@ fn run_differential(
         prop_assert_eq!(naive.active_flows(), inc.active_flows());
     }
 
-    prop_assert!(completions > 0 || flows.iter().all(|f| f.bytes == 0));
+    prop_assert!(completions + cancelled > 0 || flows.iter().all(|f| f.bytes == 0));
     prop_assert_eq!(naive.flow_counters(), inc.flow_counters());
     prop_assert_eq!(inc.active_flows(), 0);
     // Byte accounting agrees to rounding (the engines accumulate resource
@@ -213,7 +245,7 @@ proptest! {
         flows in proptest::collection::vec(gen_flow(4), 1..40),
         cancels in proptest::collection::vec((0usize..64, 0u64..10_000), 0..8),
     ) {
-        run_differential(&caps, &flows, &cancels, true, |_| 0)?;
+        run_differential(&caps, &flows, &cancels, &[], true, |_| 0)?;
     }
 
     /// General case: random paths form multiple components that split and
@@ -226,7 +258,35 @@ proptest! {
         cancels in proptest::collection::vec((0usize..64, 0u64..10_000), 0..8),
     ) {
         // Relative 1e-12 of the completion instant, floored at 2 ns.
-        run_differential(&caps, &flows, &cancels, false,
+        run_differential(&caps, &flows, &cancels, &[], false,
+            |t| 2 + (t as f64 * 1e-12) as u64)?;
+    }
+
+    /// Crash-shaped schedules, shared-resource case: random bursts cancel
+    /// every flow touching one resource inside a single event — the exact
+    /// load a node crash puts on the engine (all of a dead node's
+    /// transfers die at once). Bit-identical agreement is still required.
+    #[test]
+    fn crash_bursts_single_component_bit_identical(
+        caps in proptest::collection::vec(1e3f64..1e9, 1..5),
+        flows in proptest::collection::vec(gen_flow(4), 1..40),
+        crashes in proptest::collection::vec((0usize..8, 0u64..10_000), 1..6),
+    ) {
+        run_differential(&caps, &flows, &[], &crashes, true, |_| 0)?;
+    }
+
+    /// Crash-shaped schedules over disjoint components, mixed with plain
+    /// cancels: mass-cancel bursts tear whole components down while others
+    /// keep filling. Rates stay bit-exact, predictions within the
+    /// lazy-sync bound.
+    #[test]
+    fn crash_bursts_multi_component(
+        caps in proptest::collection::vec(1e3f64..1e9, 2..6),
+        flows in proptest::collection::vec(gen_flow(5), 1..40),
+        cancels in proptest::collection::vec((0usize..64, 0u64..10_000), 0..8),
+        crashes in proptest::collection::vec((0usize..8, 0u64..10_000), 1..6),
+    ) {
+        run_differential(&caps, &flows, &cancels, &crashes, false,
             |t| 2 + (t as f64 * 1e-12) as u64)?;
     }
 }

@@ -12,7 +12,7 @@
 //!   reads and writes uniformly across the virtual cluster.
 
 use crate::op::{FlowLeg, OpPlan, Stage};
-use crate::traits::{Constraints, FileRef, StorageOpStats, StorageSystem};
+use crate::traits::{Constraints, FailoverResponse, FileRef, StorageOpStats, StorageSystem};
 use simcore::SimDuration;
 use std::collections::HashMap;
 use vcluster::{net_path, Cluster, NodeId};
@@ -186,6 +186,31 @@ impl StorageSystem for Gluster {
         }
     }
 
+    fn on_node_failed(&mut self, _cluster: &Cluster, node: NodeId) -> FailoverResponse {
+        // The brick restarts with an empty volume: every file whose only
+        // copy lived there is gone (neither mode replicates). Sorted for
+        // determinism — HashMap iteration order is not.
+        let mut lost: Vec<FileId> = self
+            .placement
+            .iter()
+            .filter(|(_, &owner)| owner == node)
+            .map(|(&f, _)| f)
+            .collect();
+        lost.sort_unstable_by_key(|f| f.0);
+        for f in &lost {
+            self.placement.remove(f);
+        }
+        FailoverResponse::LostFiles(lost)
+    }
+
+    fn missing_files(&self, files: &[FileRef]) -> Vec<FileId> {
+        files
+            .iter()
+            .filter(|(f, _)| !self.placement.contains_key(f))
+            .map(|(f, _)| *f)
+            .collect()
+    }
+
     fn local_bytes(&self, _cluster: &Cluster, node: NodeId, files: &[FileRef]) -> u64 {
         files
             .iter()
@@ -293,6 +318,39 @@ mod tests {
         g.plan_write(&c, w0, (FileId(0), 500));
         assert_eq!(g.local_bytes(&c, w0, &[(FileId(0), 500)]), 500);
         assert_eq!(g.local_bytes(&c, c.workers()[1], &[(FileId(0), 500)]), 0);
+    }
+
+    #[test]
+    fn dead_brick_loses_exactly_its_files() {
+        let (_, c) = cluster(2);
+        let mut g = Gluster::new(GlusterConfig::new(GlusterMode::Nufa));
+        let (w0, w1) = (c.workers()[0], c.workers()[1]);
+        g.plan_write(&c, w0, (FileId(0), 100));
+        g.plan_write(&c, w1, (FileId(1), 100));
+        g.plan_write(&c, w0, (FileId(2), 100));
+        let resp = g.on_node_failed(&c, w0);
+        assert_eq!(
+            resp,
+            FailoverResponse::LostFiles(vec![FileId(0), FileId(2)])
+        );
+        let refs = [(FileId(0), 100), (FileId(1), 100), (FileId(2), 100)];
+        assert_eq!(g.missing_files(&refs), vec![FileId(0), FileId(2)]);
+        // The surviving brick still serves its file.
+        let plan = g.plan_read(&c, w1, (FileId(1), 100));
+        assert!(!plan.stages.is_empty());
+    }
+
+    #[test]
+    fn lost_files_may_be_rewritten() {
+        let (_, c) = cluster(2);
+        let mut g = Gluster::new(GlusterConfig::new(GlusterMode::Distribute));
+        let w0 = c.workers()[0];
+        g.plan_write(&c, w0, (FileId(0), 100));
+        let owner = g.placement[&FileId(0)];
+        g.on_node_failed(&c, owner);
+        // Re-creating the lost file is not a write-once violation.
+        g.plan_write(&c, w0, (FileId(0), 100));
+        assert!(g.missing_files(&[(FileId(0), 100)]).is_empty());
     }
 
     #[test]

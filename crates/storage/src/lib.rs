@@ -43,6 +43,7 @@ pub use p2p::{DirectTransfer, P2pConfig};
 pub use pvfs::{Pvfs, PvfsConfig};
 pub use s3::{S3Config, S3};
 pub use traits::{
-    Constraints, FileRef, StorageBilling, StorageKind, StorageOpStats, StorageSystem,
+    Constraints, FailoverResponse, FileRef, StorageBilling, StorageKind, StorageOpStats,
+    StorageSystem,
 };
 pub use xtreemfs::{XtreemFs, XtreemFsConfig};

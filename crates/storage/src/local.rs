@@ -196,6 +196,21 @@ mod tests {
     }
 
     #[test]
+    fn node_failure_leaves_local_data_intact() {
+        // The fault model treats a local-disk "failure" as a service
+        // restart: the RAID contents survive, so the default
+        // (Unaffected, nothing missing) applies.
+        use crate::traits::FailoverResponse;
+        let (_, c, mut s) = setup();
+        s.plan_write(&c, c.workers()[0], (FileId(0), 1000));
+        assert_eq!(
+            s.on_node_failed(&c, c.workers()[0]),
+            FailoverResponse::Unaffected
+        );
+        assert!(s.missing_files(&[(FileId(0), 1000)]).is_empty());
+    }
+
+    #[test]
     fn constraints_limit_to_one_worker() {
         let (_, _, s) = setup();
         assert_eq!(s.constraints().max_workers, Some(1));

@@ -23,7 +23,7 @@
 
 use crate::lru::LruBytes;
 use crate::op::{FlowLeg, Note, OpPlan, Stage};
-use crate::traits::{Constraints, FileRef, StorageOpStats, StorageSystem};
+use crate::traits::{Constraints, FailoverResponse, FileRef, StorageOpStats, StorageSystem};
 use simcore::{ResourceId, Sim, SimDuration};
 use std::collections::HashSet;
 use vcluster::{net_path, Cluster, NodeId};
@@ -280,6 +280,23 @@ impl StorageSystem for Nfs {
         }
     }
 
+    fn on_node_failed(&mut self, _cluster: &Cluster, node: NodeId) -> FailoverResponse {
+        if node == self.server {
+            // Server reboot: the file data survives on disk, but the page
+            // cache is cold, dirty pages were flushed or dropped by the
+            // crash, and every client stalls until the mount recovers.
+            self.cache = LruBytes::new(self.cache.capacity());
+            self.dirty = 0;
+            FailoverResponse::StallAll
+        } else {
+            // A client crash only loses that client's page cache; the
+            // data plane is untouched.
+            let cap = self.client_caches[node.index()].capacity();
+            self.client_caches[node.index()] = LruBytes::new(cap);
+            FailoverResponse::Unaffected
+        }
+    }
+
     fn local_bytes(&self, _cluster: &Cluster, node: NodeId, files: &[FileRef]) -> u64 {
         // Data lives on the server; it is "local" only to an overloaded
         // server-worker.
@@ -455,6 +472,43 @@ mod tests {
         let b = Nfs::new(&mut sim, &c2, NfsConfig::default());
         assert!(b.dirty_limit > 3 * a.dirty_limit);
         assert!(b.cache.capacity() > 3 * a.cache.capacity());
+    }
+
+    #[test]
+    fn server_failure_stalls_and_chills_the_cache() {
+        let (_, c, mut nfs) = setup();
+        nfs.prestage(&c, &[(FileId(0), 1000)]);
+        nfs.plan_write(&c, c.workers()[0], (FileId(1), 5000));
+        assert!(nfs.dirty_bytes() > 0);
+        let resp = nfs.on_node_failed(&c, nfs.server());
+        assert_eq!(resp, FailoverResponse::StallAll);
+        assert_eq!(nfs.dirty_bytes(), 0, "dirty pages gone with the reboot");
+        // The next read of the prestaged file misses the (now cold)
+        // server cache and goes to disk.
+        let plan = nfs.plan_read(&c, c.workers()[1], (FileId(0), 1000));
+        assert_eq!(nfs.op_stats().cache_misses, 1);
+        assert_eq!(plan.stages.len(), 2);
+    }
+
+    #[test]
+    fn client_failure_is_harmless_but_cools_its_cache() {
+        let (_, c, mut nfs) = setup();
+        let w0 = c.workers()[0];
+        nfs.plan_write(&c, w0, (FileId(0), 1000));
+        let resp = nfs.on_node_failed(&c, w0);
+        assert_eq!(resp, FailoverResponse::Unaffected);
+        // The re-read can no longer be served from the client cache, but
+        // the server still has the file (hot, even).
+        let plan = nfs.plan_read(&c, w0, (FileId(0), 1000));
+        assert_eq!(plan.stages.len(), 2, "admission + server transfer");
+    }
+
+    #[test]
+    fn nothing_goes_missing_on_nfs() {
+        let (_, c, mut nfs) = setup();
+        nfs.prestage(&c, &[(FileId(0), 1000)]);
+        nfs.on_node_failed(&c, nfs.server());
+        assert!(nfs.missing_files(&[(FileId(0), 1000)]).is_empty());
     }
 
     #[test]

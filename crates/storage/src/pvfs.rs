@@ -14,7 +14,7 @@
 //! releases as an ablation.
 
 use crate::op::{FlowLeg, OpPlan, Stage};
-use crate::traits::{Constraints, FileRef, StorageOpStats, StorageSystem};
+use crate::traits::{Constraints, FailoverResponse, FileRef, StorageOpStats, StorageSystem};
 use simcore::SimDuration;
 use std::collections::HashSet;
 use vcluster::{Cluster, NodeId};
@@ -199,6 +199,26 @@ impl StorageSystem for Pvfs {
         })
     }
 
+    fn on_node_failed(&mut self, cluster: &Cluster, node: NodeId) -> FailoverResponse {
+        // Every file is striped over every worker and PVFS (without
+        // replication) cannot tolerate losing an I/O server: a stripe of
+        // each file lived on the dead node, so everything is lost.
+        if !cluster.workers().contains(&node) {
+            return FailoverResponse::Unaffected;
+        }
+        let mut lost: Vec<FileId> = self.present.drain().collect();
+        lost.sort_unstable_by_key(|f| f.0);
+        FailoverResponse::LostFiles(lost)
+    }
+
+    fn missing_files(&self, files: &[FileRef]) -> Vec<FileId> {
+        files
+            .iter()
+            .filter(|(f, _)| !self.present.contains(f))
+            .map(|(f, _)| *f)
+            .collect()
+    }
+
     fn op_stats(&self) -> StorageOpStats {
         self.stats
     }
@@ -287,6 +307,25 @@ mod tests {
         let mut p = Pvfs::new(PvfsConfig::default());
         p.plan_write(&c, c.workers()[0], (FileId(0), 10));
         p.plan_write(&c, c.workers()[0], (FileId(0), 10));
+    }
+
+    #[test]
+    fn io_server_loss_takes_every_stripe() {
+        let (_, c) = cluster(2);
+        let mut p = Pvfs::new(PvfsConfig::default());
+        p.plan_write(&c, c.workers()[0], (FileId(0), 1000));
+        p.plan_write(&c, c.workers()[1], (FileId(1), 1000));
+        let resp = p.on_node_failed(&c, c.workers()[1]);
+        assert_eq!(
+            resp,
+            FailoverResponse::LostFiles(vec![FileId(0), FileId(1)])
+        );
+        assert_eq!(
+            p.missing_files(&[(FileId(0), 1000), (FileId(1), 1000)]),
+            vec![FileId(0), FileId(1)]
+        );
+        // Lost files may be re-created.
+        p.plan_write(&c, c.workers()[0], (FileId(0), 1000));
     }
 
     #[test]

@@ -17,7 +17,9 @@
 
 use crate::lru::LruBytes;
 use crate::op::{FlowLeg, OpPlan, Stage};
-use crate::traits::{Constraints, FileRef, StorageBilling, StorageOpStats, StorageSystem};
+use crate::traits::{
+    Constraints, FailoverResponse, FileRef, StorageBilling, StorageOpStats, StorageSystem,
+};
 use simcore::{ResourceId, Sim, SimDuration};
 use std::collections::{HashMap, HashSet};
 use vcluster::{Cluster, NodeId};
@@ -224,6 +226,16 @@ impl StorageSystem for S3 {
         plan
     }
 
+    fn on_node_failed(&mut self, _cluster: &Cluster, node: NodeId) -> FailoverResponse {
+        // Objects live off-cluster; a node failure only loses that node's
+        // local whole-file cache and page cache. Its replacement starts
+        // cold and re-GETs what it needs.
+        self.node_cache.remove(&node);
+        let cap = self.page_caches[node.index()].capacity();
+        self.page_caches[node.index()] = LruBytes::new(cap);
+        FailoverResponse::Unaffected
+    }
+
     fn local_bytes(&self, _cluster: &Cluster, node: NodeId, files: &[FileRef]) -> u64 {
         files
             .iter()
@@ -270,6 +282,20 @@ mod tests {
         let spill = &plan.stages[1].legs[0];
         assert_eq!(spill.path, c.node(w).write_path());
         assert_eq!(s3.request_counts(), (1, 0));
+    }
+
+    #[test]
+    fn node_failure_only_cools_the_cache() {
+        let (_, c, mut s3) = setup(2);
+        let w = c.workers()[0];
+        s3.prestage(&c, &[(FileId(0), 1000)]);
+        s3.plan_stage_in(&c, w, &[(FileId(0), 1000)]);
+        assert_eq!(s3.request_counts(), (1, 0));
+        assert_eq!(s3.on_node_failed(&c, w), FailoverResponse::Unaffected);
+        assert!(s3.missing_files(&[(FileId(0), 1000)]).is_empty());
+        // The replacement node has to GET the file again.
+        s3.plan_stage_in(&c, w, &[(FileId(0), 1000)]);
+        assert_eq!(s3.request_counts(), (2, 0));
     }
 
     #[test]

@@ -59,6 +59,23 @@ impl Default for Constraints {
     }
 }
 
+/// How a storage system reacts when a cluster node dies (fault
+/// injection). The engine calls [`StorageSystem::on_node_failed`] and
+/// applies the returned semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailoverResponse {
+    /// The system does not depend on the dead node (S3's data plane is
+    /// off-cluster; the local disk survives a service restart).
+    Unaffected,
+    /// All traffic through the system stalls until the server recovers
+    /// (an NFS server reboot aborts outstanding RPCs and blocks new ones).
+    StallAll,
+    /// Files whose only copy lived on the dead node are gone and must be
+    /// re-created by re-running their producers (a GlusterFS brick or a
+    /// PVFS I/O server restarting with an empty volume).
+    LostFiles(Vec<FileId>),
+}
+
 /// A data-sharing option for workflows in the cloud (§IV).
 ///
 /// Implementations are *planners*: each operation returns an [`OpPlan`]
@@ -112,6 +129,21 @@ pub trait StorageSystem {
 
     /// Callback when a background stage completes (e.g. an NFS flush).
     fn on_background_done(&mut self, _note: Note) {}
+
+    /// Fault-injection hook: `node` just died. Implementations update
+    /// their internal placement/caches and describe the consequence.
+    /// Must be deterministic (no randomness); the default is
+    /// [`FailoverResponse::Unaffected`].
+    fn on_node_failed(&mut self, _cluster: &Cluster, _node: NodeId) -> FailoverResponse {
+        FailoverResponse::Unaffected
+    }
+
+    /// Of `files`, the ones this system can no longer serve (lost to a
+    /// node failure). The engine's rescue-DAG pass re-runs their
+    /// producers. Systems that never lose data return an empty vector.
+    fn missing_files(&self, _files: &[FileRef]) -> Vec<FileId> {
+        Vec::new()
+    }
 
     /// Bytes of `files` already resident at `node` (local placement or
     /// client cache) — consulted by the data-aware scheduler ablation A3.

@@ -100,6 +100,17 @@ impl InstanceType {
         }
     }
 
+    /// Typical hourly *spot* price in US cents (us-east-1, 2010). Spot
+    /// capacity traded at roughly 35–40 % of on-demand back then; the
+    /// discount is what makes riding out terminations attractive.
+    pub fn spot_price_cents_per_hour(self) -> u32 {
+        match self {
+            InstanceType::C1Xlarge | InstanceType::M1Xlarge => 26,
+            InstanceType::M24Xlarge => 92,
+            InstanceType::M1Small => 4,
+        }
+    }
+
     /// The node's storage device: all ephemeral disks in software RAID 0
     /// (§III.C), uninitialised by default.
     pub fn raid0_profile(self) -> DiskProfile {
@@ -143,6 +154,17 @@ mod tests {
         let p = InstanceType::C1Xlarge.raid0_profile();
         assert!(p.first_write_cap().is_some());
         assert!(p.read_bps > 300.0 * MBPS);
+    }
+
+    #[test]
+    fn spot_prices_discount_on_demand() {
+        for t in InstanceType::ALL {
+            let spot = t.spot_price_cents_per_hour();
+            let demand = t.price_cents_per_hour();
+            assert!(spot < demand, "{t:?}: spot {spot} >= on-demand {demand}");
+            let ratio = f64::from(spot) / f64::from(demand);
+            assert!((0.3..0.5).contains(&ratio), "{t:?}: ratio {ratio}");
+        }
     }
 
     #[test]

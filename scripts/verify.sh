@@ -5,8 +5,11 @@
 #   scripts/verify.sh --quick  # tier-1 only
 #
 # Tier-1 (ROADMAP.md): cargo build --release && cargo test -q
+# Oracle tests:        cargo test -q -p simcore --features oracle (the
+#                      differential suite against the reference solver)
 # Lint gates:          cargo clippy --workspace --all-targets -- -D warnings
 #                      cargo fmt --check
+#                      no #[ignore] without a reason string
 # Perf smoke:          repro --bench-smoke (writes BENCH.json; asserts the
 #                      incremental and reference flow engines agree)
 set -euo pipefail
@@ -17,6 +20,17 @@ cargo build --release
 
 echo "== tier-1: tests =="
 cargo test -q --workspace
+
+echo "== oracle: simcore differential suite =="
+# The root crate has no `oracle` feature, so target the crate directly.
+cargo test -q -p simcore --features oracle
+
+echo "== lint: ignored tests must say why =="
+# `#[ignore]` without `= "reason"` hides a test with no paper trail.
+if grep -rn --include='*.rs' -E '#\[ignore\]' crates src tests shims; then
+    echo "error: found #[ignore] without a reason string (use #[ignore = \"why\"])" >&2
+    exit 1
+fi
 
 if [[ "${1:-}" == "--quick" ]]; then
     echo "verify (quick): OK"

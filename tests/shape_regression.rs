@@ -3,6 +3,7 @@
 //! scale; the full Montage figure runs under `--ignored` and in the
 //! `repro` binary).
 
+use ec2_workflow_sim::expt::faults;
 use ec2_workflow_sim::expt::figures::{runtime_figure, table1, xtreemfs_note};
 use ec2_workflow_sim::expt::shape;
 use ec2_workflow_sim::wfgen::App;
@@ -43,6 +44,22 @@ fn shape_checks_are_seed_robust_for_broadband() {
     for seed in [7u64, 1234] {
         let fig = runtime_figure(App::Broadband, seed);
         assert_all_pass(&shape::check_fig4(&fig));
+    }
+}
+
+#[test]
+fn f2_fault_shape_holds() {
+    let study = faults::run_f2(&[App::Broadband, App::Epigenome], 42);
+    assert_all_pass(&faults::check_f2(&study));
+}
+
+#[test]
+fn f2_fault_checks_are_seed_robust_for_broadband() {
+    // Mirrors the Broadband seed-robustness treatment above: the fault
+    // degradation ordering must not depend on the engine seed.
+    for seed in [7u64, 1234] {
+        let study = faults::run_f2(&[App::Broadband], seed);
+        assert_all_pass(&faults::check_f2(&study));
     }
 }
 
