@@ -1,0 +1,51 @@
+//! Event-bus overhead on the Montage-scale kernel workload: the same
+//! flow schedule driven through the full `Sim` loop with observability
+//! off, digest-only, and fully recording, next to the raw incremental
+//! flow engine (no `Sim`, no bus) as the floor. The `Off` timing minus
+//! the floor is the event-loop cost; `Digest`/`Full` minus `Off` is what
+//! the bus itself adds — the quantity the disabled-by-default design
+//! holds near zero.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use expt::perf::{drive_incremental, drive_sim, montage_scale_workload};
+use std::hint::black_box;
+use wfobs::ObsLevel;
+
+const FLOWS: u64 = 20_000;
+
+fn raw_engine(c: &mut Criterion) {
+    let w = montage_scale_workload(FLOWS);
+    c.bench_function("wfobs/raw_flow_engine", |b| {
+        b.iter(|| black_box(drive_incremental(&w)))
+    });
+}
+
+fn sim_obs_off(c: &mut Criterion) {
+    let w = montage_scale_workload(FLOWS);
+    c.bench_function("wfobs/sim_obs_off", |b| {
+        b.iter(|| black_box(drive_sim(&w, ObsLevel::Off)))
+    });
+}
+
+fn sim_obs_digest(c: &mut Criterion) {
+    let w = montage_scale_workload(FLOWS);
+    c.bench_function("wfobs/sim_obs_digest", |b| {
+        b.iter(|| black_box(drive_sim(&w, ObsLevel::Digest)))
+    });
+}
+
+fn sim_obs_full(c: &mut Criterion) {
+    let w = montage_scale_workload(FLOWS);
+    c.bench_function("wfobs/sim_obs_full", |b| {
+        b.iter(|| black_box(drive_sim(&w, ObsLevel::Full)))
+    });
+}
+
+criterion_group!(
+    benches,
+    raw_engine,
+    sim_obs_off,
+    sim_obs_digest,
+    sim_obs_full
+);
+criterion_main!(benches);

@@ -195,6 +195,10 @@ pub struct RunConfig {
     /// Full multi-layer fault plan (node crashes, storage failover, spot
     /// termination). Takes precedence over `failures` when set.
     pub faults: Option<FaultPlan>,
+    /// Observability level: `Off` (default, zero-overhead), `Digest`
+    /// (streaming run digest only) or `Full` (events + metrics +
+    /// exporters).
+    pub obs: wfobs::ObsLevel,
 }
 
 impl RunConfig {
@@ -212,12 +216,19 @@ impl RunConfig {
             storage_cfgs: StorageConfigs::default(),
             failures: None,
             faults: None,
+            obs: wfobs::ObsLevel::Off,
         }
     }
 
     /// Builder-style seed override.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder-style observability level override.
+    pub fn with_obs(mut self, obs: wfobs::ObsLevel) -> Self {
+        self.obs = obs;
         self
     }
 }

@@ -14,6 +14,7 @@ use crate::failures;
 use crate::world::{TaskRecord, World};
 use simcore::{Sim, SimDuration, SimTime};
 use wfdag::TaskId;
+use wfobs::{Event, Phase};
 
 /// How many queued jobs the matchmaker examines per cycle (backfill
 /// window): a ready job that does not fit anywhere does not starve
@@ -25,6 +26,21 @@ const BACKFILL_WINDOW: usize = 64;
 pub fn start_run(sim: &mut Sim<World>, world: &mut World) {
     let inputs = world.workflow_inputs();
     world.storage.prestage(&world.cluster, &inputs);
+    if world.obs.enabled() {
+        // The initial billing segments were opened in `World::new`,
+        // before the bus was attached; replay them onto the bus so the
+        // segment stream is complete.
+        for (ix, segs) in world.node_segments.iter().enumerate() {
+            if let Some(seg) = segs.last() {
+                if seg.close.is_none() {
+                    world.obs.emit(Event::SegmentOpen {
+                        node: ix as u32,
+                        spot: seg.spot,
+                    });
+                }
+            }
+        }
+    }
     failures::install_faults(sim, world);
     for t in world.wf.roots() {
         mark_ready(sim, world, t);
@@ -39,9 +55,14 @@ pub(crate) fn mark_ready(sim: &mut Sim<World>, world: &mut World, task: TaskId) 
         return;
     }
     world.ready.push_back(task);
+    world.obs.emit(Event::TaskReady { task: task.0 });
+    world.obs.emit(Event::ReadyDepth {
+        depth: world.ready.len() as u32,
+    });
     let now = sim.now();
     let attempts = world.records[task.index()].map_or(0, |r| r.attempts);
     world.records[task.index()] = Some(TaskRecord {
+        task,
         node: vcluster::NodeId(u32::MAX),
         ready_at: now,
         start_at: now,
@@ -88,11 +109,17 @@ fn dispatch(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: us
     world.running[worker_ix].push(task);
     let epoch = world.epoch[task.index()];
     let node = world.cluster.workers()[worker_ix];
-    {
+    let attempt = {
         let rec = world.records[task.index()].as_mut().expect("record exists");
         rec.node = node;
         rec.start_at = sim.now();
-    }
+        rec.attempts
+    };
+    world.obs.emit(Event::TaskStart {
+        task: task.0,
+        node: node.0,
+        attempt,
+    });
     // DAGMan/Condor per-job overhead is paid while holding the slot.
     let overhead = world.cfg.job_overhead;
     sim.schedule_in(overhead, move |sim, world| {
@@ -111,6 +138,11 @@ fn job_ops(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: usi
         .expect("record")
         .ops_start = sim.now();
     let node = world.cluster.workers()[worker_ix];
+    world.obs.emit(Event::TaskPhase {
+        task: task.0,
+        node: node.0,
+        phase: Phase::Ops,
+    });
     let io_ops = world.wf.task(task).io_ops;
     let plan = world.storage.plan_task_ops(&world.cluster, node, io_ops);
     exec_plan_guarded(
@@ -137,6 +169,11 @@ fn job_stage_in(
         .expect("record")
         .stage_in_start = sim.now();
     let node = world.cluster.workers()[worker_ix];
+    world.obs.emit(Event::TaskPhase {
+        task: task.0,
+        node: node.0,
+        phase: Phase::StageIn,
+    });
     let inputs = world.task_inputs(task);
     let plan = world.storage.plan_stage_in(&world.cluster, node, &inputs);
     exec_plan_guarded(
@@ -164,6 +201,11 @@ fn job_read(
             .as_mut()
             .expect("record")
             .reads_start = sim.now();
+        world.obs.emit(Event::TaskPhase {
+            task: task.0,
+            node: world.cluster.workers()[worker_ix].0,
+            phase: Phase::Read,
+        });
     }
     let inputs = world.task_inputs(task);
     if idx >= inputs.len() {
@@ -207,6 +249,11 @@ fn job_compute(
         .as_mut()
         .expect("record")
         .compute_start = sim.now();
+    world.obs.emit(Event::TaskPhase {
+        task: task.0,
+        node: node.0,
+        phase: Phase::Compute,
+    });
     sim.schedule_in(dur, move |sim, world| {
         if !world.live(task, epoch) {
             return;
@@ -235,6 +282,11 @@ fn job_compute(
                 .expect("record")
                 .attempts += 1;
         }
+        world.obs.emit(Event::TaskPhase {
+            task: task.0,
+            node: world.cluster.workers()[worker_ix].0,
+            phase: Phase::Write,
+        });
         job_write(sim, world, task, worker_ix, epoch, 0);
     });
 }
@@ -289,6 +341,11 @@ fn job_stage_out(
         .expect("record")
         .stage_out_start = sim.now();
     let node = world.cluster.workers()[worker_ix];
+    world.obs.emit(Event::TaskPhase {
+        task: task.0,
+        node: node.0,
+        phase: Phase::StageOut,
+    });
     // Only stage out (and bill) each output once, even across retries.
     let outputs: Vec<_> = world
         .task_outputs(task)
@@ -311,7 +368,16 @@ fn job_done(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: us
     }
     world.release(worker_ix, task);
     world.running[worker_ix].retain(|&t| t != task);
-    world.records[task.index()].as_mut().expect("record").end_at = sim.now();
+    let attempt = {
+        let rec = world.records[task.index()].as_mut().expect("record");
+        rec.end_at = sim.now();
+        rec.attempts
+    };
+    world.obs.emit(Event::TaskEnd {
+        task: task.0,
+        node: world.cluster.workers()[worker_ix].0,
+        attempt,
+    });
     world.completed[task.index()] = true;
     world.done += 1;
     if world.done == world.wf.task_count() {

@@ -6,6 +6,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
 use wfdag::TaskId;
+use wfobs::Event;
 use wfstorage::op::{Note, OpPlan, Stage};
 
 /// A continuation fired when an operation completes.
@@ -106,6 +107,9 @@ fn exec_stage(sim: &mut Sim<World>, stage: Stage, guard: ExecGuard, done: Cont) 
 /// Queue a background stage onto the single writeback stream.
 fn enqueue_background(sim: &mut Sim<World>, world: &mut World, stage: Stage, note: Option<Note>) {
     world.bg_queue.push_back((stage, note));
+    world.obs.emit(Event::BgEnqueue {
+        depth: world.bg_queue.len() as u32,
+    });
     if !world.bg_active {
         start_next_background(sim, world);
     }
@@ -118,11 +122,15 @@ fn start_next_background(sim: &mut Sim<World>, world: &mut World) {
         return;
     };
     world.bg_active = true;
+    world.obs.emit(Event::BgStart {
+        depth: world.bg_queue.len() as u32,
+    });
     exec_stage(
         sim,
         stage,
         None,
         Box::new(move |sim, world| {
+            world.obs.emit(Event::BgDone);
             if let Some(n) = note {
                 world.storage.on_background_done(n);
             }

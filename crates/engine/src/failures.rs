@@ -17,6 +17,7 @@ use crate::world::{NodeSched, World};
 use simcore::{DetRng, Sim, SimDuration, SimTime};
 use vcluster::{Cluster, NodeId};
 use wfdag::TaskId;
+use wfobs::{Event, FaultKind};
 use wfstorage::FailoverResponse;
 
 /// Sample an exponential inter-arrival time for a Poisson process with
@@ -106,6 +107,10 @@ fn node_crash(sim: &mut Sim<World>, world: &mut World, ix: usize, incarnation: u
         return; // stale event for an earlier incarnation
     }
     world.fault_counters.node_crashes += 1;
+    world.obs.emit(Event::Fault {
+        kind: FaultKind::NodeCrash,
+        node: world.cluster.workers()[ix].0,
+    });
     take_down_worker(sim, world, ix);
     let reprovision = world
         .faults
@@ -131,6 +136,10 @@ fn schedule_spot_termination(sim: &mut Sim<World>, world: &mut World, ix: usize,
             return;
         }
         world.fault_counters.spot_terminations += 1;
+        world.obs.emit(Event::Fault {
+            kind: FaultKind::SpotTermination,
+            node: world.cluster.workers()[ix].0,
+        });
         take_down_worker(sim, world, ix);
         let replace = world
             .faults
@@ -185,6 +194,7 @@ fn schedule_recovery(sim: &mut Sim<World>, world: &mut World, ix: usize) {
         world.node_up[ix] = true;
         world.node_spot[ix] = false;
         world.node_sched[ix] = sched;
+        world.obs.emit(Event::NodeRecovered { node: node_id.0 });
         world.open_segment(node_id.index(), sim.now(), false);
         schedule_next_crash(sim, world, ix);
         try_dispatch(sim, world);
@@ -221,6 +231,10 @@ fn storage_failure(sim: &mut Sim<World>, world: &mut World, victim: NodeId, resa
     let stalled = world.stall_until.is_some_and(|t| sim.now() < t);
     if !stalled {
         world.fault_counters.storage_failures += 1;
+        world.obs.emit(Event::Fault {
+            kind: FaultKind::StorageFailure,
+            node: victim.0,
+        });
         let resp = world.storage.on_node_failed(&world.cluster, victim);
         apply_failover(sim, world, resp);
     }
@@ -270,6 +284,9 @@ fn apply_failover(sim: &mut Sim<World>, world: &mut World, resp: FailoverRespons
         FailoverResponse::LostFiles(files) => {
             world.any_files_lost = true;
             world.fault_counters.files_lost += files.len() as u64;
+            world.obs.emit(Event::FilesLost {
+                count: files.len() as u32,
+            });
             for f in files {
                 // Lost outputs become writable again for rescue re-runs.
                 world.written.remove(&f);
@@ -298,6 +315,11 @@ pub(crate) fn kill_task(
     };
     world.fault_counters.tasks_killed += 1;
     world.fault_counters.wasted_task_secs += now.since(start_at).as_secs_f64();
+    world.obs.emit(Event::TaskKilled {
+        task: task.0,
+        node: world.cluster.workers()[worker_ix].0,
+        wasted_nanos: now.since(start_at).as_nanos(),
+    });
     world.epoch[task.index()] += 1;
     if let Some(ids) = world.inflight.remove(&task) {
         for id in ids {
@@ -325,6 +347,10 @@ pub(crate) fn fail_execution(
     world.running[worker_ix].retain(|&t| t != task);
     world.release(worker_ix, task);
     world.epoch[task.index()] += 1;
+    world.obs.emit(Event::TaskFailed {
+        task: task.0,
+        node: world.cluster.workers()[worker_ix].0,
+    });
     finish_failure(sim, world, task, budget);
 }
 
@@ -398,6 +424,7 @@ pub(crate) fn rescue_defer(sim: &mut Sim<World>, world: &mut World, task: TaskId
             world.done -= 1;
             world.rescued.insert(p);
             world.fault_counters.rescue_resubmits += 1;
+            world.obs.emit(Event::RescueResubmit { task: p.0 });
             mark_ready(sim, world, p);
         }
         // else: p is already being rescued (or re-running) — just wait.

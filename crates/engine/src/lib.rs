@@ -41,7 +41,10 @@ pub use config::{
     StorageFailureSpec,
 };
 pub use run::{run_workflow, FaultSummary, ResourceRow, RunError, RunStats};
-pub use trace::{jobstate_log, phase_breakdown, render_fault_summary, PhaseBreakdown};
+pub use trace::{
+    fault_summary_from_bus, jobstate_log, jobstate_log_from_bus, phase_breakdown,
+    phase_breakdown_from_bus, render_fault_summary, render_gantt_from_bus, PhaseBreakdown,
+};
 pub use world::{FaultCounters, NodeSched, NodeSegment, TaskRecord, World};
 
 #[cfg(test)]

@@ -60,6 +60,13 @@ pub struct RunStats {
     /// Per-resource usage rows (disks, NICs, servers), for utilization
     /// reports.
     pub resources: Vec<ResourceRow>,
+    /// Streaming run digest over the observability event stream
+    /// (`None` when `RunConfig::obs` is `Off`). Equal configs and seeds
+    /// produce equal digests — the replay-verification contract.
+    pub digest: Option<u64>,
+    /// The full observability report (events, metrics, resource labels)
+    /// when `RunConfig::obs` is `Full`.
+    pub obs: Option<wfobs::ObsReport>,
 }
 
 /// Usage of one simulated resource over the run.
@@ -137,6 +144,7 @@ impl std::error::Error for RunError {}
 /// results.
 pub fn run_workflow(workflow: Workflow, cfg: RunConfig) -> Result<RunStats, RunError> {
     let mut sim: Sim<World> = Sim::new();
+    sim.set_obs(wfobs::ObsHandle::new(cfg.obs, cfg.seed));
     let spec = {
         let mut s = cluster_spec_for(cfg.storage, cfg.workers, cfg.server_type);
         s.initialize_disks = cfg.initialize_disks;
@@ -154,6 +162,7 @@ pub fn run_workflow(workflow: Workflow, cfg: RunConfig) -> Result<RunStats, RunE
 
     let storage = build_storage(cfg.storage, &mut sim, &cluster, &cfg.storage_cfgs);
     let mut world = World::new(workflow, cluster, storage, cfg);
+    world.obs = sim.obs().clone();
 
     sim.schedule_at(SimTime::ZERO, start_run);
     sim.run(&mut world);
@@ -228,6 +237,13 @@ pub fn run_workflow(workflow: Workflow, cfg: RunConfig) -> Result<RunStats, RunE
         segments,
     };
 
+    let obs_handle = sim.obs().clone();
+    let digest = obs_handle.digest();
+    let obs = match obs_handle.level() {
+        wfobs::ObsLevel::Full => obs_handle.take_report(),
+        _ => None,
+    };
+
     Ok(RunStats {
         makespan_secs,
         tasks: total,
@@ -240,5 +256,7 @@ pub fn run_workflow(workflow: Workflow, cfg: RunConfig) -> Result<RunStats, RunE
         faults,
         records,
         resources,
+        digest,
+        obs,
     })
 }

@@ -5,6 +5,7 @@ use simcore::{DetRng, FlowId, SimTime};
 use std::collections::{HashMap, HashSet, VecDeque};
 use vcluster::{Cluster, NodeId};
 use wfdag::{FileClass, FileId, TaskId, Workflow};
+use wfobs::{Event, ObsHandle};
 use wfstorage::op::{Note, Stage};
 use wfstorage::{FileRef, StorageSystem};
 
@@ -55,6 +56,10 @@ pub struct FaultCounters {
 /// earlier failed attempts only contribute to `attempts`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskRecord {
+    /// The task this record belongs to. Carrying the id in the record
+    /// lets consumers (`jobstate_log`, bus exporters) key by task rather
+    /// than assume positional alignment with `Workflow::tasks()`.
+    pub task: TaskId,
     /// Node the task ran on.
     pub node: NodeId,
     /// When all dependencies were satisfied.
@@ -216,6 +221,9 @@ pub struct World {
     pub fault_rng_node: Vec<DetRng>,
     /// Per-worker fault streams: spot termination timing.
     pub fault_rng_spot: Vec<DetRng>,
+    /// Observability bus handle (shared with the sim; disabled by
+    /// default). Cloning is one `Rc` bump.
+    pub obs: ObsHandle,
 }
 
 impl World {
@@ -314,6 +322,7 @@ impl World {
             fault_rng_storage: DetRng::stream(cfg.seed, "engine.faults.storage"),
             fault_rng_node,
             fault_rng_spot,
+            obs: ObsHandle::disabled(),
             cfg,
         }
     }
@@ -350,6 +359,9 @@ impl World {
         if let Some(seg) = self.node_segments[node_ix].last_mut() {
             if seg.close.is_none() {
                 seg.close = Some(at);
+                self.obs.emit(Event::SegmentClose {
+                    node: node_ix as u32,
+                });
             }
         }
     }
@@ -359,6 +371,10 @@ impl World {
         self.node_segments[node_ix].push(NodeSegment {
             open: at,
             close: None,
+            spot,
+        });
+        self.obs.emit(Event::SegmentOpen {
+            node: node_ix as u32,
             spot,
         });
     }

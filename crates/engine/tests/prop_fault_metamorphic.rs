@@ -78,7 +78,9 @@ fn run(
     seed: u64,
     plan: Option<FaultPlan>,
 ) -> RunStats {
-    let mut cfg = RunConfig::cell(KINDS[kind_ix % KINDS.len()], workers).with_seed(seed);
+    let mut cfg = RunConfig::cell(KINDS[kind_ix % KINDS.len()], workers)
+        .with_seed(seed)
+        .with_obs(wfobs::ObsLevel::Digest);
     cfg.faults = plan;
     run_workflow(build_workflow(tasks), cfg).expect("fault-free run succeeds")
 }
@@ -102,6 +104,11 @@ fn assert_bit_identical(a: &RunStats, b: &RunStats) -> Result<(), TestCaseError>
         b.total_io_secs.to_bits(),
         "io seconds diverged"
     );
+    // The run digest folds every observability event (with timestamps)
+    // into one word: equality here means the full instrumented event
+    // streams replayed identically, not just the summarised stats.
+    prop_assert!(a.digest.is_some(), "digest missing at ObsLevel::Digest");
+    prop_assert_eq!(a.digest, b.digest, "run digests diverged");
     Ok(())
 }
 

@@ -15,6 +15,63 @@ use expt::{ablations, analysis, future_work, microbench, render, Report};
 use std::time::Instant;
 use wfgen::App;
 
+/// Path of the checked-in golden digest, relative to the repo root
+/// (where `scripts/verify.sh` runs).
+const GOLDEN_PATH: &str = "tests/golden_digest.txt";
+
+/// Run the fixed golden workflow — a small diamond on GlusterFS/NUFA
+/// with 2 workers, seed 42 — and return its run digest. Any change to
+/// event ordering, payloads or timing anywhere in the stack moves this
+/// value; `verify.sh` compares it against [`GOLDEN_PATH`].
+fn golden_digest_run() -> u64 {
+    let mut b = wfdag::WorkflowBuilder::new("golden");
+    let fin = b.file("in.dat", 5_000_000);
+    let f1 = b.file("f1.dat", 5_000_000);
+    let f2 = b.file("f2.dat", 5_000_000);
+    let f3 = b.file("f3.dat", 5_000_000);
+    let fout = b.file("out.dat", 5_000_000);
+    b.task("a", "gen", 2.0, 100 << 20, vec![fin], vec![f1, f2]);
+    b.task("b", "lhs", 3.0, 100 << 20, vec![f1], vec![f3]);
+    b.task("c", "rhs", 3.0, 100 << 20, vec![f2], vec![fout]);
+    let f4 = b.file("out2.dat", 5_000_000);
+    b.task("d", "join", 1.0, 100 << 20, vec![f3], vec![f4]);
+    let wf = b.build().expect("golden workflow is well-formed");
+    let cfg = wfengine::RunConfig::cell(expt::StorageKind::GlusterNufa, 2)
+        .with_seed(42)
+        .with_obs(wfobs::ObsLevel::Digest);
+    wfengine::run_workflow(wf, cfg)
+        .expect("golden run succeeds")
+        .digest
+        .expect("digest present at ObsLevel::Digest")
+}
+
+/// One engine's best wall time recorded in an existing `BENCH.json`, if
+/// present and well-formed.
+fn baseline_min_ms(doc: &serde_json::Value, engine: &str) -> Option<f64> {
+    for e in doc.get("engines")?.as_array()? {
+        if matches!(e.get("engine"), Some(serde_json::Value::Str(s)) if s == engine) {
+            return match e.get("min_ms")? {
+                serde_json::Value::F64(f) => Some(*f),
+                serde_json::Value::I64(n) => Some(*n as f64),
+                serde_json::Value::U64(n) => Some(*n as f64),
+                _ => None,
+            };
+        }
+    }
+    None
+}
+
+/// The committed baseline for the disabled-bus regression gate:
+/// `(incremental min_ms, naive min_ms)` from the existing `BENCH.json`.
+fn bench_baseline() -> Option<(f64, f64)> {
+    let text = std::fs::read_to_string("BENCH.json").ok()?;
+    let doc: serde_json::Value = serde_json::from_str(&text).ok()?;
+    Some((
+        baseline_min_ms(&doc, "incremental")?,
+        baseline_min_ms(&doc, "naive")?,
+    ))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let seed = args
@@ -25,11 +82,77 @@ fn main() {
         .unwrap_or(42u64);
     let skip_ablations = args.iter().any(|a| a == "--skip-ablations");
 
+    if args.iter().any(|a| a == "--golden-digest") {
+        // Replay-verification golden check: the tiny fixed workflow must
+        // reproduce the checked-in digest bit for bit.
+        let hex = format!("{:016x}", golden_digest_run());
+        if args.iter().any(|a| a == "--update") {
+            std::fs::write(GOLDEN_PATH, format!("{hex}\n")).expect("write golden digest");
+            println!("golden digest updated: {hex} -> {GOLDEN_PATH}");
+            return;
+        }
+        let want = std::fs::read_to_string(GOLDEN_PATH)
+            .unwrap_or_else(|e| panic!("read {GOLDEN_PATH} (run with --update to create): {e}"));
+        if want.trim() != hex {
+            eprintln!(
+                "golden digest mismatch: got {hex}, expected {} — the event \
+                 stream of the fixed workflow changed; if intentional, rerun \
+                 with --golden-digest --update",
+                want.trim()
+            );
+            std::process::exit(1);
+        }
+        println!("golden digest ok: {hex}");
+        return;
+    }
+
     if args.iter().any(|a| a == "--bench-smoke") {
         // Quick kernel perf smoke: time the incremental engine against the
         // preserved reference solver and record the result in BENCH.json.
-        let smoke = expt::perf::bench_smoke(20_000);
+        //
+        // The kernel hot path runs with the event bus disabled; hold it to
+        // within 2% of the committed baseline so instrumentation cost can
+        // never creep into the default configuration unnoticed. Raw wall
+        // time shifts with machine load, so the comparison is normalized
+        // by the co-measured reference solver (both engines run unchanged
+        // byte-for-byte code in the same process, so a sustained slowdown
+        // moves them together), and a violation is re-measured up to
+        // twice before it is declared a regression.
+        let baseline = bench_baseline();
+        let mut smoke = expt::perf::bench_smoke(20_000);
         print!("{}", expt::perf::render(&smoke));
+        if let Some((old_inc, old_naive)) = baseline {
+            let minutes = |s: &expt::perf::BenchSmoke, name: &str| {
+                s.engines
+                    .iter()
+                    .find(|e| e.engine == name)
+                    .expect("engine timing present")
+                    .min_ms
+            };
+            for attempt in 1..=3u32 {
+                let inc = minutes(&smoke, "incremental");
+                let naive = minutes(&smoke, "naive");
+                let scale = naive / old_naive;
+                let bound = old_inc * scale * 1.02;
+                println!(
+                    "  disabled-bus check: {inc:.2}ms vs baseline {old_inc:.2}ms \
+                     × load {scale:.3} → bound {bound:.2}ms"
+                );
+                if inc <= bound {
+                    break;
+                }
+                if attempt == 3 {
+                    eprintln!(
+                        "disabled-bus kernel path regressed: {inc:.2}ms vs \
+                         load-normalized bound {bound:.2}ms (>2%) on 3 attempts"
+                    );
+                    std::process::exit(1);
+                }
+                println!("  over bound — re-measuring ({attempt}/3)…");
+                smoke = expt::perf::bench_smoke(20_000);
+                print!("{}", expt::perf::render(&smoke));
+            }
+        }
         std::fs::write(
             "BENCH.json",
             serde_json::to_string_pretty(&smoke).expect("serialise bench smoke"),

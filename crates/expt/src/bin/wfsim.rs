@@ -5,6 +5,7 @@
 //! wfsim run    --app montage --storage glusterfs-nufa --workers 4
 //!              [--tiny] [--seed N] [--data-aware] [--cluster K]
 //!              [--failures P --retries K] [--gantt] [--trace FILE]
+//!              [--trace-out FILE] [--metrics-out FILE] [--digest]
 //! wfsim sweep  --app broadband [--tiny] [--seed N]
 //! wfsim profile --app epigenome
 //! wfsim export --app montage --tiny --out montage.json
@@ -138,7 +139,14 @@ fn build_config(args: &Args) -> RunConfig {
 
 fn cmd_run(args: &Args) {
     let wf = load_workflow(args);
-    let cfg = build_config(args);
+    let mut cfg = build_config(args);
+    // Exporters need the recorded event stream; a bare --digest only needs
+    // the streaming hash. Anything else leaves the bus disabled.
+    if args.opts.contains_key("trace-out") || args.opts.contains_key("metrics-out") {
+        cfg.obs = wfobs::ObsLevel::Full;
+    } else if args.flags.iter().any(|f| f == "digest") {
+        cfg.obs = wfobs::ObsLevel::Digest;
+    }
     let workers = cfg.workers;
     println!(
         "running {} ({} tasks) on {} with {} worker(s)…",
@@ -166,6 +174,25 @@ fn cmd_run(args: &Args) {
                 std::fs::write(path, jobstate_log(&stats, &wf_for_log))
                     .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
                 println!("jobstate trace written to {path}");
+            }
+            if let Some(path) = args.opts.get("trace-out") {
+                let report = stats.obs.as_ref().expect("Full level records a report");
+                let labels = wfobs::ChromeLabels {
+                    task_names: wf_for_log.tasks().iter().map(|t| t.name.clone()).collect(),
+                    node_names: Vec::new(),
+                };
+                std::fs::write(path, wfobs::chrome_trace(report, &labels))
+                    .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+                println!("chrome trace written to {path} (open in chrome://tracing)");
+            }
+            if let Some(path) = args.opts.get("metrics-out") {
+                let report = stats.obs.as_ref().expect("Full level records a report");
+                std::fs::write(path, report.metrics.to_csv())
+                    .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+                println!("metrics written to {path}");
+            }
+            if let Some(d) = stats.digest {
+                println!("run digest {d:016x}");
             }
         }
         Err(e) => die(&format!("run failed: {e}")),

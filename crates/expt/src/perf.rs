@@ -8,8 +8,9 @@
 
 use serde::Serialize;
 use simcore::naive::NaiveFlowEngine;
-use simcore::{FlowEngine, FlowSpec, ResourceId, SimTime};
+use simcore::{FlowEngine, FlowSpec, ResourceId, Sim, SimTime};
 use std::time::Instant;
+use wfobs::{ObsHandle, ObsLevel};
 
 /// A deterministic Montage-scale flow schedule over shared resources.
 pub struct KernelWorkload {
@@ -104,6 +105,35 @@ pub fn drive_naive(w: &KernelWorkload) -> SimTime {
     drive!(NaiveFlowEngine::<()>::new(), w)
 }
 
+/// Run the workload through the full event-driven [`Sim`] loop at the
+/// given observability level. This is the path the event bus actually
+/// instruments (flow start/rate/finish emissions live in `Sim`, not in
+/// the flow engine), so timing it at `Off` vs `Digest` vs `Full` measures
+/// the bus overhead the disabled-by-default design promises to avoid.
+pub fn drive_sim(w: &KernelWorkload, level: ObsLevel) -> SimTime {
+    let mut sim: Sim<()> = Sim::new();
+    sim.set_obs(ObsHandle::new(level, 42));
+    let rids: Vec<ResourceId> = w
+        .caps
+        .iter()
+        .enumerate()
+        .map(|(i, c)| sim.add_resource(format!("r{i}"), *c))
+        .collect();
+    for (t_ns, bytes, path, cap) in &w.arrivals {
+        let mut spec = FlowSpec::new(*bytes, path.iter().map(|&p| rids[p]).collect());
+        if let Some(c) = *cap {
+            spec = spec.with_cap(c);
+        }
+        sim.schedule_at(SimTime::from_nanos(*t_ns), move |sim, _| {
+            sim.start_flow(spec, |_, _| {});
+        });
+    }
+    sim.run(&mut ());
+    let (started, completed) = sim.flow_counters();
+    assert_eq!(started, completed, "all flows must complete");
+    sim.now()
+}
+
 /// One timed engine run inside [`BenchSmoke`].
 #[derive(Debug, Serialize)]
 pub struct EngineTiming {
@@ -132,6 +162,12 @@ pub struct BenchSmoke {
     pub engines: Vec<EngineTiming>,
     /// `naive.min_ms / incremental.min_ms`.
     pub speedup: f64,
+    /// `sim/obs-digest min_ms ÷ sim/obs-off min_ms` — the cost of digest
+    /// hashing on the full simulation loop.
+    pub obs_digest_overhead: f64,
+    /// `sim/obs-full min_ms ÷ sim/obs-off min_ms` — the cost of recording
+    /// every event and metric sample.
+    pub obs_full_overhead: f64,
 }
 
 fn time_runs(mut f: impl FnMut() -> SimTime, runs: u32) -> (f64, f64) {
@@ -157,8 +193,20 @@ pub fn bench_smoke(n_flows: u64) -> BenchSmoke {
         inc_makespan, naive_makespan,
         "engines disagree on the schedule's final completion"
     );
-    let (inc_min, inc_mean) = time_runs(|| drive_incremental(&w), 5);
+    let sim_makespan = drive_sim(&w, ObsLevel::Off);
+    assert_eq!(
+        sim_makespan,
+        drive_sim(&w, ObsLevel::Full),
+        "observability changed simulated time"
+    );
+    // The incremental timing doubles as the regression baseline for the
+    // 2% disabled-bus gate, so sample it deeper: min-of-10 sits at the
+    // machine's true floor rather than a lucky draw.
+    let (inc_min, inc_mean) = time_runs(|| drive_incremental(&w), 10);
     let (nv_min, nv_mean) = time_runs(|| drive_naive(&w), 3);
+    let (off_min, off_mean) = time_runs(|| drive_sim(&w, ObsLevel::Off), 5);
+    let (dig_min, dig_mean) = time_runs(|| drive_sim(&w, ObsLevel::Digest), 5);
+    let (full_min, full_mean) = time_runs(|| drive_sim(&w, ObsLevel::Full), 5);
     BenchSmoke {
         workload: "montage_scale: staggered node-local transfers, 1/32 via shared server".into(),
         flows: n_flows,
@@ -169,7 +217,7 @@ pub fn bench_smoke(n_flows: u64) -> BenchSmoke {
                 engine: "incremental",
                 min_ms: inc_min,
                 mean_ms: inc_mean,
-                runs: 5,
+                runs: 10,
             },
             EngineTiming {
                 engine: "naive",
@@ -177,8 +225,28 @@ pub fn bench_smoke(n_flows: u64) -> BenchSmoke {
                 mean_ms: nv_mean,
                 runs: 3,
             },
+            EngineTiming {
+                engine: "sim/obs-off",
+                min_ms: off_min,
+                mean_ms: off_mean,
+                runs: 5,
+            },
+            EngineTiming {
+                engine: "sim/obs-digest",
+                min_ms: dig_min,
+                mean_ms: dig_mean,
+                runs: 5,
+            },
+            EngineTiming {
+                engine: "sim/obs-full",
+                min_ms: full_min,
+                mean_ms: full_mean,
+                runs: 5,
+            },
         ],
         speedup: nv_min / inc_min,
+        obs_digest_overhead: dig_min / off_min,
+        obs_full_overhead: full_min / off_min,
     }
 }
 
@@ -198,6 +266,10 @@ pub fn render(b: &BenchSmoke) -> String {
     out.push_str(&format!(
         "  speedup (naive/incremental, min): {:.1}x\n",
         b.speedup
+    ));
+    out.push_str(&format!(
+        "  obs overhead on sim loop (min): digest {:.3}x, full {:.3}x\n",
+        b.obs_digest_overhead, b.obs_full_overhead
     ));
     out
 }

@@ -1,0 +1,54 @@
+//! The event bus must be a faithful second witness of the run: the phase
+//! breakdown reconstructed purely from `TaskStart`/`TaskPhase`/`TaskEnd`
+//! events has to agree with the legacy record-based accounting to 1e-6
+//! slot-seconds, on every paper application and storage kind the bus is
+//! threaded through.
+
+use wfengine::{phase_breakdown, phase_breakdown_from_bus, run_workflow, RunConfig};
+use wfgen::App;
+use wfobs::ObsLevel;
+use wfstorage::StorageKind;
+
+const KINDS: [StorageKind; 5] = [
+    StorageKind::Nfs,
+    StorageKind::S3,
+    StorageKind::GlusterNufa,
+    StorageKind::GlusterDistribute,
+    StorageKind::Pvfs,
+];
+
+#[test]
+fn bus_phase_totals_match_records_on_all_apps() {
+    for app in [App::Montage, App::Epigenome, App::Broadband] {
+        for kind in KINDS {
+            let cfg = RunConfig::cell(kind, 2)
+                .with_seed(42)
+                .with_obs(ObsLevel::Full);
+            let stats = run_workflow(app.tiny_workflow(), cfg)
+                .unwrap_or_else(|e| panic!("{app:?}/{kind:?}: {e}"));
+            let report = stats.obs.as_ref().expect("Full level records a report");
+            let legacy = phase_breakdown(&stats);
+            let bus = phase_breakdown_from_bus(report);
+            for (name, a, b) in [
+                ("overhead", legacy.overhead, bus.overhead),
+                ("ops", legacy.ops, bus.ops),
+                ("stage_in", legacy.stage_in, bus.stage_in),
+                ("read", legacy.read, bus.read),
+                ("compute", legacy.compute, bus.compute),
+                ("write", legacy.write, bus.write),
+                ("stage_out", legacy.stage_out, bus.stage_out),
+            ] {
+                assert!(
+                    (a - b).abs() <= 1e-6,
+                    "{app:?}/{kind:?} {name}: records {a} vs bus {b}"
+                );
+            }
+            assert!(
+                (legacy.total() - bus.total()).abs() <= 1e-6,
+                "{app:?}/{kind:?} totals: {} vs {}",
+                legacy.total(),
+                bus.total()
+            );
+        }
+    }
+}

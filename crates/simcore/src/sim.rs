@@ -11,6 +11,7 @@ use crate::flow::{FlowEngine, FlowId, FlowSpec, ResourceId, ResourceStats};
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use wfobs::{Event, ObsHandle};
 
 /// An event handler: runs once with access to the simulation and the world.
 pub type EventFn<W> = Box<dyn FnOnce(&mut Sim<W>, &mut W)>;
@@ -48,6 +49,7 @@ pub struct Sim<W> {
     events_fired: u64,
     /// Optional hard stop; `run` returns once the clock would pass it.
     horizon: Option<SimTime>,
+    obs: ObsHandle,
 }
 
 impl<W> Default for Sim<W> {
@@ -66,7 +68,25 @@ impl<W> Sim<W> {
             flows: FlowEngine::new(),
             events_fired: 0,
             horizon: None,
+            obs: ObsHandle::disabled(),
         }
+    }
+
+    /// Attach an observability bus. The simulation loop drives its clock
+    /// and reports flow lifecycle events; resources registered so far are
+    /// re-announced so the bus knows every label.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        if obs.enabled() {
+            for ix in 0..self.flows.resource_count() {
+                obs.register_resource(self.flows.resource_name(ResourceId::from_index(ix)));
+            }
+        }
+        self.obs = obs;
+    }
+
+    /// The attached observability bus (the null handle when none is).
+    pub fn obs(&self) -> &ObsHandle {
+        &self.obs
     }
 
     /// Current simulated time.
@@ -88,7 +108,11 @@ impl<W> Sim<W> {
     /// Register a shared resource (disk, NIC, server) with capacity in
     /// bytes/second.
     pub fn add_resource(&mut self, name: impl Into<String>, capacity_bps: f64) -> ResourceId {
-        self.flows.add_resource(name, capacity_bps)
+        let id = self.flows.add_resource(name, capacity_bps);
+        if self.obs.enabled() {
+            self.obs.register_resource(self.flows.resource_name(id));
+        }
+        id
     }
 
     /// Statistics for a resource, brought forward to the engine's latest
@@ -142,14 +166,39 @@ impl<W> Sim<W> {
             self.schedule_at(self.now, done);
             None
         } else {
-            Some(self.flows.start(self.now, spec, Box::new(done)))
+            let path = if self.obs.enabled() {
+                spec.path.clone()
+            } else {
+                Vec::new()
+            };
+            let bytes = spec.bytes;
+            let id = self.flows.start(self.now, spec, Box::new(done));
+            if self.obs.enabled() {
+                let rate = self.flows.flow_rate(id).unwrap_or(0.0);
+                self.obs.emit(Event::FlowStart {
+                    id: id.0,
+                    bytes,
+                    rate_bits: rate.to_bits(),
+                });
+                for r in path {
+                    self.obs.emit(Event::FlowRes {
+                        id: id.0,
+                        resource: r.0,
+                    });
+                }
+            }
+            Some(id)
         }
     }
 
     /// Cancel an active flow; its completion closure is dropped. Returns
     /// true if the flow was still active.
     pub fn cancel_flow(&mut self, id: FlowId) -> bool {
-        self.flows.cancel(self.now, id).is_some()
+        let cancelled = self.flows.cancel(self.now, id).is_some();
+        if cancelled {
+            self.obs.emit(Event::FlowCancel { id: id.0 });
+        }
+        cancelled
     }
 
     /// Run until no events or flows remain (or the horizon is reached).
@@ -176,6 +225,7 @@ impl<W> Sim<W> {
                     }
                     let ev = self.queue.pop().expect("peeked event vanished");
                     self.now = t;
+                    self.obs.set_now(t.as_nanos());
                     self.events_fired += 1;
                     (ev.f)(self, world);
                 }
@@ -184,8 +234,10 @@ impl<W> Sim<W> {
                         break;
                     }
                     self.now = self.now.max(t);
+                    self.obs.set_now(self.now.as_nanos());
                     let done = self.flows.complete(self.now, id);
                     self.events_fired += 1;
+                    self.obs.emit(Event::FlowEnd { id: id.0 });
                     done(self, world);
                 }
             }

@@ -19,6 +19,7 @@
 use proptest::prelude::*;
 use simcore::naive::NaiveFlowEngine;
 use simcore::{FlowEngine, FlowId, FlowSpec, SimTime};
+use wfobs::RunDigest;
 
 /// A randomly generated flow description over `n_res` resources.
 #[derive(Debug, Clone)]
@@ -103,6 +104,13 @@ fn run_differential(
     let mut op_ix = 0;
     let mut completions = 0u32;
     let mut cancelled = 0u32;
+    // One streaming digest per engine over everything each engine reports
+    // (rate bits after every event, completion payloads): if the digests
+    // agree at the end, the whole observed streams agreed record for
+    // record — the same replay-verification contract `RunStats::digest`
+    // offers at the workflow level.
+    let mut dig_n = RunDigest::new(0x0b5);
+    let mut dig_i = RunDigest::new(0x0b5);
 
     loop {
         let next_op = ops.get(op_ix).map(|&(t, _, _)| t);
@@ -196,6 +204,8 @@ fn run_differential(
             let done_n = naive.complete(t_n, id_n);
             let done_i = inc.complete(t_n, id_n);
             prop_assert_eq!(done_n, done_i, "completion payloads diverged");
+            dig_n.absorb_bytes(&(done_n as u64).to_le_bytes());
+            dig_i.absorb_bytes(&(done_i as u64).to_le_bytes());
             active.retain(|&a| a != id_n);
             completions += 1;
         }
@@ -204,6 +214,8 @@ fn run_differential(
         for &id in &active {
             let rn = naive.flow_rate(id).expect("active in oracle");
             let ri = inc.flow_rate(id).expect("active in incremental");
+            dig_n.absorb_bytes(&rn.to_bits().to_le_bytes());
+            dig_i.absorb_bytes(&ri.to_bits().to_le_bytes());
             prop_assert_eq!(
                 rn.to_bits(),
                 ri.to_bits(),
@@ -218,6 +230,16 @@ fn run_differential(
 
     prop_assert!(completions + cancelled > 0 || flows.iter().all(|f| f.bytes == 0));
     prop_assert_eq!(naive.flow_counters(), inc.flow_counters());
+    prop_assert_eq!(
+        dig_n.count(),
+        dig_i.count(),
+        "engines reported different record counts"
+    );
+    prop_assert_eq!(
+        dig_n.value(),
+        dig_i.value(),
+        "observed-stream digests diverged"
+    );
     prop_assert_eq!(inc.active_flows(), 0);
     // Byte accounting agrees to rounding (the engines accumulate resource
     // statistics with differently-associated but equivalent arithmetic).

@@ -56,7 +56,7 @@ pub fn build_storage<W>(
     cluster: &Cluster,
     cfgs: &StorageConfigs,
 ) -> Box<dyn StorageSystem> {
-    let sys: Box<dyn StorageSystem> = match kind {
+    let mut sys: Box<dyn StorageSystem> = match kind {
         StorageKind::Local => Box::new(LocalDisk::new(cluster, cfgs.local.unwrap_or_default())),
         StorageKind::Nfs => Box::new(Nfs::new(sim, cluster, cfgs.nfs.unwrap_or_default())),
         StorageKind::GlusterNufa => Box::new(Gluster::new(GlusterConfig {
@@ -78,6 +78,7 @@ pub fn build_storage<W>(
             Box::new(DirectTransfer::new(cluster, cfgs.p2p.unwrap_or_default()))
         }
     };
+    sys.attach_obs(sim.obs().clone());
     let cons = sys.constraints();
     let workers = cluster.workers().len() as u32;
     assert!(

@@ -17,6 +17,7 @@ use simcore::SimDuration;
 use std::collections::HashMap;
 use vcluster::{net_path, Cluster, NodeId};
 use wfdag::FileId;
+use wfobs::{Event, ObsHandle, OpKind};
 
 /// GlusterFS translator configuration (§IV.C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +67,7 @@ pub struct Gluster {
     /// Where each file's data lives.
     placement: HashMap<FileId, NodeId>,
     stats: StorageOpStats,
+    obs: ObsHandle,
     /// Reads served without crossing the network.
     local_reads: u64,
     /// Reads that crossed the network.
@@ -79,6 +81,7 @@ impl Gluster {
             cfg,
             placement: HashMap::new(),
             stats: StorageOpStats::default(),
+            obs: ObsHandle::disabled(),
             local_reads: 0,
             remote_reads: 0,
         }
@@ -101,6 +104,10 @@ impl Gluster {
 }
 
 impl StorageSystem for Gluster {
+    fn attach_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
+    }
+
     fn name(&self) -> &'static str {
         match self.cfg.mode {
             GlusterMode::Nufa => "glusterfs-nufa",
@@ -141,6 +148,11 @@ impl StorageSystem for Gluster {
             .unwrap_or_else(|| panic!("read of a file never written: {file:?}"));
         self.stats.reads += 1;
         self.stats.bytes_read += size;
+        self.obs.emit(Event::StorageOp {
+            op: OpKind::Read,
+            node: node.0,
+            bytes: size,
+        });
         let owner_node = cluster.node(owner);
         let reader = cluster.node(node);
         if owner == node {
@@ -169,6 +181,11 @@ impl StorageSystem for Gluster {
         assert!(prev.is_none(), "write-once violated for {file:?}");
         self.stats.writes += 1;
         self.stats.bytes_written += size;
+        self.obs.emit(Event::StorageOp {
+            op: OpKind::Write,
+            node: node.0,
+            bytes: size,
+        });
         let owner_node = cluster.node(owner);
         let writer = cluster.node(node);
         if owner == node {

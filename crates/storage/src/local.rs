@@ -11,6 +11,7 @@ use simcore::SimDuration;
 use std::collections::HashSet;
 use vcluster::{Cluster, NodeId};
 use wfdag::FileId;
+use wfobs::{Event, ObsHandle, OpKind};
 
 /// Tunables for the local file system.
 #[derive(Debug, Clone, Copy)]
@@ -38,6 +39,7 @@ pub struct LocalDisk {
     present: HashSet<FileId>,
     page_cache: LruBytes,
     stats: StorageOpStats,
+    obs: ObsHandle,
 }
 
 impl LocalDisk {
@@ -49,6 +51,7 @@ impl LocalDisk {
             present: HashSet::new(),
             page_cache: LruBytes::new((mem * cfg.page_cache_fraction) as u64),
             stats: StorageOpStats::default(),
+            obs: ObsHandle::disabled(),
         }
     }
 }
@@ -56,6 +59,10 @@ impl LocalDisk {
 impl StorageSystem for LocalDisk {
     fn name(&self) -> &'static str {
         "local"
+    }
+
+    fn attach_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     fn constraints(&self) -> Constraints {
@@ -79,11 +86,18 @@ impl StorageSystem for LocalDisk {
         );
         self.stats.reads += 1;
         self.stats.bytes_read += size;
+        self.obs.emit(Event::StorageOp {
+            op: OpKind::Read,
+            node: node.0,
+            bytes: size,
+        });
         if self.page_cache.touch(file) {
             self.stats.cache_hits += 1;
+            self.obs.emit(Event::CacheHit { node: node.0 });
             return OpPlan::one(Stage::latency(self.cfg.open_latency));
         }
         self.stats.cache_misses += 1;
+        self.obs.emit(Event::CacheMiss { node: node.0 });
         self.page_cache.insert(file, size);
         let n = cluster.node(node);
         OpPlan::one(Stage::lat_leg(
@@ -103,6 +117,11 @@ impl StorageSystem for LocalDisk {
         );
         self.stats.writes += 1;
         self.stats.bytes_written += size;
+        self.obs.emit(Event::StorageOp {
+            op: OpKind::Write,
+            node: node.0,
+            bytes: size,
+        });
         self.page_cache.insert(file, size);
         let n = cluster.node(node);
         let spec = n.local_write(size);

@@ -28,6 +28,7 @@ use simcore::{ResourceId, Sim, SimDuration};
 use std::collections::HashSet;
 use vcluster::{net_path, Cluster, NodeId};
 use wfdag::FileId;
+use wfobs::{Event, ObsHandle, OpKind};
 
 /// Where the NFS daemon runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +110,7 @@ pub struct Nfs {
     dirty_limit: u64,
     present: HashSet<FileId>,
     stats: StorageOpStats,
+    obs: ObsHandle,
     throttled_writes: u64,
 }
 
@@ -142,6 +144,7 @@ impl Nfs {
             dirty_limit: (mem * cfg.dirty_fraction) as u64,
             present: HashSet::new(),
             stats: StorageOpStats::default(),
+            obs: ObsHandle::disabled(),
             throttled_writes: 0,
         }
     }
@@ -173,7 +176,16 @@ impl StorageSystem for Nfs {
         "nfs"
     }
 
-    fn plan_task_ops(&mut self, cluster: &Cluster, _node: NodeId, io_ops: u32) -> OpPlan {
+    fn attach_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
+    }
+
+    fn plan_task_ops(&mut self, cluster: &Cluster, node: NodeId, io_ops: u32) -> OpPlan {
+        self.obs.emit(Event::StorageOp {
+            op: OpKind::OpStorm,
+            node: node.0,
+            bytes: 0,
+        });
         let extra = (cluster.workers().len() as u32 - 1).min(self.cfg.amp_clients_cap);
         let amplified =
             (f64::from(io_ops) * (1.0 + self.cfg.op_amplification * f64::from(extra))).round();
@@ -207,6 +219,11 @@ impl StorageSystem for Nfs {
         );
         self.stats.reads += 1;
         self.stats.bytes_read += size;
+        self.obs.emit(Event::StorageOp {
+            op: OpKind::Read,
+            node: node.0,
+            bytes: size,
+        });
         let srv = cluster.node(self.server);
         let client = cluster.node(node);
         // Client page cache: write-once data never goes stale, so a
@@ -214,13 +231,16 @@ impl StorageSystem for Nfs {
         // revalidation round trip.
         if self.client_caches[node.index()].touch(file) {
             self.stats.cache_hits += 1;
+            self.obs.emit(Event::CacheHit { node: node.0 });
             return OpPlan::one(self.admission());
         }
         let hit = self.cache.touch(file);
         if hit {
             self.stats.cache_hits += 1;
+            self.obs.emit(Event::CacheHit { node: node.0 });
         } else {
             self.stats.cache_misses += 1;
+            self.obs.emit(Event::CacheMiss { node: node.0 });
             self.cache.insert(file, size);
         }
         self.client_caches[node.index()].insert(file, size);
@@ -245,6 +265,11 @@ impl StorageSystem for Nfs {
         );
         self.stats.writes += 1;
         self.stats.bytes_written += size;
+        self.obs.emit(Event::StorageOp {
+            op: OpKind::Write,
+            node: node.0,
+            bytes: size,
+        });
         let srv = cluster.node(self.server);
         let client = cluster.node(node);
         // Written data is hot in the server cache either way, and in the

@@ -18,6 +18,7 @@ use simcore::SimDuration;
 use std::collections::{HashMap, HashSet};
 use vcluster::{Cluster, NodeId};
 use wfdag::FileId;
+use wfobs::{Event, ObsHandle, OpKind};
 
 /// Tunables for the direct-transfer model.
 #[derive(Debug, Clone, Copy)]
@@ -52,6 +53,7 @@ pub struct DirectTransfer {
     /// Per-node OS page caches.
     page_caches: Vec<LruBytes>,
     stats: StorageOpStats,
+    obs: ObsHandle,
     transfers: u64,
 }
 
@@ -67,6 +69,7 @@ impl DirectTransfer {
                 .map(|n| LruBytes::new((n.memory_bytes() as f64 * cfg.page_cache_fraction) as u64))
                 .collect(),
             stats: StorageOpStats::default(),
+            obs: ObsHandle::disabled(),
             transfers: 0,
         }
     }
@@ -92,6 +95,10 @@ impl StorageSystem for DirectTransfer {
         "direct-transfer"
     }
 
+    fn attach_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
+    }
+
     fn constraints(&self) -> Constraints {
         Constraints::default()
     }
@@ -113,9 +120,16 @@ impl StorageSystem for DirectTransfer {
                 .unwrap_or_else(|| panic!("stage-in of a file with no replica: {file:?}"));
             if holder == node {
                 self.stats.cache_hits += 1;
+                self.obs.emit(Event::CacheHit { node: node.0 });
                 continue;
             }
             self.stats.cache_misses += 1;
+            self.obs.emit(Event::CacheMiss { node: node.0 });
+            self.obs.emit(Event::StorageOp {
+                op: OpKind::StageIn,
+                node: node.0,
+                bytes: size,
+            });
             self.transfers += 1;
             let src = cluster.node(holder);
             // Pull across the network, spill to the local disk.
@@ -136,6 +150,11 @@ impl StorageSystem for DirectTransfer {
     fn plan_read(&mut self, cluster: &Cluster, node: NodeId, (file, size): FileRef) -> OpPlan {
         self.stats.reads += 1;
         self.stats.bytes_read += size;
+        self.obs.emit(Event::StorageOp {
+            op: OpKind::Read,
+            node: node.0,
+            bytes: size,
+        });
         if self.page_caches[node.index()].touch(file) {
             return OpPlan::one(Stage::latency(self.cfg.open_latency));
         }
@@ -152,6 +171,11 @@ impl StorageSystem for DirectTransfer {
         holders.insert(node);
         self.stats.writes += 1;
         self.stats.bytes_written += size;
+        self.obs.emit(Event::StorageOp {
+            op: OpKind::Write,
+            node: node.0,
+            bytes: size,
+        });
         self.page_caches[node.index()].insert(file, size);
         OpPlan::one(Stage::lat_leg(
             self.cfg.open_latency,

@@ -19,6 +19,7 @@ use simcore::SimDuration;
 use std::collections::HashSet;
 use vcluster::{Cluster, NodeId};
 use wfdag::FileId;
+use wfobs::{Event, ObsHandle, OpKind};
 
 /// Tunables for the PVFS model.
 #[derive(Debug, Clone, Copy)]
@@ -73,6 +74,7 @@ pub struct Pvfs {
     cfg: PvfsConfig,
     present: HashSet<FileId>,
     stats: StorageOpStats,
+    obs: ObsHandle,
 }
 
 impl Pvfs {
@@ -82,6 +84,7 @@ impl Pvfs {
             cfg,
             present: HashSet::new(),
             stats: StorageOpStats::default(),
+            obs: ObsHandle::disabled(),
         }
     }
 
@@ -151,6 +154,10 @@ impl Pvfs {
 }
 
 impl StorageSystem for Pvfs {
+    fn attach_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
+    }
+
     fn name(&self) -> &'static str {
         if self.cfg.optimized_small_files {
             "pvfs-2.8"
@@ -180,6 +187,11 @@ impl StorageSystem for Pvfs {
         );
         self.stats.reads += 1;
         self.stats.bytes_read += size;
+        self.obs.emit(Event::StorageOp {
+            op: OpKind::Read,
+            node: node.0,
+            bytes: size,
+        });
         OpPlan::one(Stage {
             latency: self.op_latency(size),
             legs: self.striped_legs(cluster, node, size, false),
@@ -193,6 +205,11 @@ impl StorageSystem for Pvfs {
         );
         self.stats.writes += 1;
         self.stats.bytes_written += size;
+        self.obs.emit(Event::StorageOp {
+            op: OpKind::Write,
+            node: node.0,
+            bytes: size,
+        });
         OpPlan::one(Stage {
             latency: self.op_latency(size),
             legs: self.striped_legs(cluster, node, size, true),

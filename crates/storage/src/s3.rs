@@ -24,6 +24,7 @@ use simcore::{ResourceId, Sim, SimDuration};
 use std::collections::{HashMap, HashSet};
 use vcluster::{Cluster, NodeId};
 use wfdag::FileId;
+use wfobs::{Event, ObsHandle, OpKind};
 
 /// Tunables for the S3 model.
 #[derive(Debug, Clone, Copy)]
@@ -75,6 +76,7 @@ pub struct S3 {
     /// Per-node OS page caches over the local copies.
     page_caches: Vec<LruBytes>,
     stats: StorageOpStats,
+    obs: ObsHandle,
     gets: u64,
     puts: u64,
     stored_bytes: u64,
@@ -97,6 +99,7 @@ impl S3 {
             node_cache: HashMap::new(),
             page_caches,
             stats: StorageOpStats::default(),
+            obs: ObsHandle::disabled(),
             gets: 0,
             puts: 0,
             stored_bytes: 0,
@@ -129,6 +132,10 @@ impl StorageSystem for S3 {
         "s3"
     }
 
+    fn attach_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
+    }
+
     fn constraints(&self) -> Constraints {
         Constraints::default()
     }
@@ -147,6 +154,7 @@ impl StorageSystem for S3 {
         for &(file, size) in inputs {
             if self.cached(node, file) {
                 self.stats.cache_hits += 1;
+                self.obs.emit(Event::CacheHit { node: node.0 });
                 continue;
             }
             assert!(
@@ -154,6 +162,12 @@ impl StorageSystem for S3 {
                 "GET of an object not in S3: {file:?}"
             );
             self.stats.cache_misses += 1;
+            self.obs.emit(Event::CacheMiss { node: node.0 });
+            self.obs.emit(Event::StorageOp {
+                op: OpKind::StageIn,
+                node: node.0,
+                bytes: size,
+            });
             self.gets += 1;
             // Fetch over the network, then write to the local disk: the
             // "each file must be written twice" cost of §IV.A.
@@ -178,6 +192,11 @@ impl StorageSystem for S3 {
         );
         self.stats.reads += 1;
         self.stats.bytes_read += size;
+        self.obs.emit(Event::StorageOp {
+            op: OpKind::Read,
+            node: node.0,
+            bytes: size,
+        });
         if self.page_caches[node.index()].touch(file) {
             return OpPlan::one(Stage::latency(self.cfg.open_latency));
         }
@@ -192,6 +211,11 @@ impl StorageSystem for S3 {
     fn plan_write(&mut self, cluster: &Cluster, node: NodeId, (file, size): FileRef) -> OpPlan {
         self.stats.writes += 1;
         self.stats.bytes_written += size;
+        self.obs.emit(Event::StorageOp {
+            op: OpKind::Write,
+            node: node.0,
+            bytes: size,
+        });
         let n = cluster.node(node);
         // Program writes land on the local disk; the PUT happens at
         // stage-out. The local copy doubles as a cache entry and is hot
@@ -211,6 +235,11 @@ impl StorageSystem for S3 {
             let prev = self.objects.insert(file, size);
             assert!(prev.is_none(), "write-once violated for S3 object {file:?}");
             self.stored_bytes += size;
+            self.obs.emit(Event::StorageOp {
+                op: OpKind::StageOut,
+                node: node.0,
+                bytes: size,
+            });
             self.puts += 1;
             // Just-written outputs are usually still in the page cache;
             // cold ones must be read back from disk first.

@@ -86,6 +86,11 @@ pub trait StorageSystem {
     /// Short system name, e.g. `"glusterfs-nufa"`.
     fn name(&self) -> &'static str;
 
+    /// Attach an observability bus. Backends keep the handle and report
+    /// planned operations and cache hits/misses through it; the default
+    /// (for test doubles) ignores it.
+    fn attach_obs(&mut self, _obs: wfobs::ObsHandle) {}
+
     /// Deployment constraints.
     fn constraints(&self) -> Constraints {
         Constraints::default()

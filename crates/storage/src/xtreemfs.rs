@@ -13,6 +13,7 @@ use simcore::{ResourceId, Sim, SimDuration};
 use std::collections::HashSet;
 use vcluster::{Cluster, NodeId};
 use wfdag::FileId;
+use wfobs::{Event, ObsHandle, OpKind};
 
 /// Tunables for the XtreemFS model.
 #[derive(Debug, Clone, Copy)]
@@ -44,6 +45,7 @@ pub struct XtreemFs {
     service_out: ResourceId,
     present: HashSet<FileId>,
     stats: StorageOpStats,
+    obs: ObsHandle,
 }
 
 impl XtreemFs {
@@ -55,6 +57,7 @@ impl XtreemFs {
             service_out: sim.add_resource("xtreemfs.out", cfg.service_bps),
             present: HashSet::new(),
             stats: StorageOpStats::default(),
+            obs: ObsHandle::disabled(),
         }
     }
 }
@@ -62,6 +65,10 @@ impl XtreemFs {
 impl StorageSystem for XtreemFs {
     fn name(&self) -> &'static str {
         "xtreemfs"
+    }
+
+    fn attach_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     fn constraints(&self) -> Constraints {
@@ -81,6 +88,11 @@ impl StorageSystem for XtreemFs {
         );
         self.stats.reads += 1;
         self.stats.bytes_read += size;
+        self.obs.emit(Event::StorageOp {
+            op: OpKind::Read,
+            node: node.0,
+            bytes: size,
+        });
         let n = cluster.node(node);
         OpPlan::one(Stage::lat_leg(
             self.cfg.op_latency,
@@ -95,6 +107,11 @@ impl StorageSystem for XtreemFs {
         );
         self.stats.writes += 1;
         self.stats.bytes_written += size;
+        self.obs.emit(Event::StorageOp {
+            op: OpKind::Write,
+            node: node.0,
+            bytes: size,
+        });
         let n = cluster.node(node);
         OpPlan::one(Stage::lat_leg(
             self.cfg.op_latency,

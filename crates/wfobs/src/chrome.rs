@@ -1,0 +1,333 @@
+//! Chrome `chrome://tracing` / Perfetto exporter.
+//!
+//! Renders a [`ObsReport`](crate::bus::ObsReport) recorded at
+//! [`ObsLevel::Full`](crate::bus::ObsLevel) as a Trace Event Format JSON
+//! document: one process for the workflow with one *lane group* per
+//! worker node, plus counter tracks for queue depths and per-resource
+//! in-flight flows. Nodes can run several tasks at once (multi-slot
+//! instances), so each node's concurrent task spans are spread over
+//! greedily-assigned sublanes — within any single lane (`tid`) spans are
+//! strictly nested or disjoint, which is what Chrome's viewer (and our
+//! property test) expects.
+
+use crate::bus::ObsReport;
+use crate::event::{Event, Phase};
+
+/// Human-readable labels the exporter joins back onto integer ids.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeLabels {
+    /// Task names by task id (missing ids render as `t<id>`).
+    pub task_names: Vec<String>,
+    /// Node labels by node id (missing ids render as `w<id>`).
+    pub node_names: Vec<String>,
+}
+
+impl ChromeLabels {
+    fn task(&self, id: u32) -> String {
+        self.task_names
+            .get(id as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("t{id}"))
+    }
+
+    fn node(&self, id: u32) -> String {
+        self.node_names
+            .get(id as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("w{id}"))
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn us(t_nanos: u64) -> f64 {
+    t_nanos as f64 / 1e3
+}
+
+const WF_PID: u32 = 0;
+const COUNTER_PID: u32 = 1;
+/// Sublane stride: lane id = node * STRIDE + sublane.
+const STRIDE: u32 = 256;
+
+#[derive(Debug, Clone, Copy)]
+struct OpenTask {
+    node: u32,
+    tid: u32,
+    start: u64,
+    phase: Option<(Phase, u64)>,
+}
+
+fn push_span(spans: &mut Vec<String>, name: &str, cat: &str, tid: u32, start: u64, end: u64) {
+    spans.push(format!(
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\
+         \"ts\":{:.3},\"dur\":{:.3}}}",
+        esc(name),
+        cat,
+        WF_PID,
+        tid,
+        us(start),
+        us(end.saturating_sub(start)),
+    ));
+}
+
+/// Claim the first free sublane of `node`, registering a lane label the
+/// first time a sublane is used.
+fn claim_lane(
+    busy: &mut Vec<Vec<bool>>,
+    lanes: &mut Vec<(u32, String)>,
+    labels: &ChromeLabels,
+    node: u32,
+) -> u32 {
+    let n = node as usize;
+    if busy.len() <= n {
+        busy.resize_with(n + 1, Vec::new);
+    }
+    let sub = match busy[n].iter().position(|&b| !b) {
+        Some(s) => s,
+        None => {
+            busy[n].push(false);
+            busy[n].len() - 1
+        }
+    };
+    busy[n][sub] = true;
+    let tid = node * STRIDE + sub as u32;
+    if !lanes.iter().any(|(t, _)| *t == tid) {
+        let name = if sub == 0 {
+            labels.node(node)
+        } else {
+            format!("{}+{}", labels.node(node), sub)
+        };
+        lanes.push((tid, name));
+    }
+    tid
+}
+
+/// Render the report as a Trace Event Format JSON document.
+pub fn chrome_trace(report: &ObsReport, labels: &ChromeLabels) -> String {
+    let mut spans: Vec<String> = Vec::new();
+    let mut instants: Vec<String> = Vec::new();
+    let mut lanes: Vec<(u32, String)> = Vec::new();
+    let mut busy: Vec<Vec<bool>> = Vec::new();
+    let mut open: Vec<Option<OpenTask>> = Vec::new();
+    let mut t_end: u64 = 0;
+
+    for &(t, ev) in &report.events {
+        t_end = t_end.max(t);
+        match ev {
+            Event::TaskStart { task, node, .. } => {
+                let ix = task as usize;
+                if open.len() <= ix {
+                    open.resize(ix + 1, None);
+                }
+                let tid = claim_lane(&mut busy, &mut lanes, labels, node);
+                open[ix] = Some(OpenTask {
+                    node,
+                    tid,
+                    start: t,
+                    phase: None,
+                });
+            }
+            Event::TaskPhase { task, phase, .. } => {
+                if let Some(Some(o)) = open.get_mut(task as usize) {
+                    if let Some((p, p0)) = o.phase.take() {
+                        push_span(&mut spans, p.label(), "phase", o.tid, p0, t);
+                    }
+                    o.phase = Some((phase, t));
+                }
+            }
+            Event::TaskEnd { task, .. }
+            | Event::TaskKilled { task, .. }
+            | Event::TaskFailed { task, .. } => {
+                if let Some(o) = open.get_mut(task as usize).and_then(Option::take) {
+                    if let Some((p, p0)) = o.phase {
+                        push_span(&mut spans, p.label(), "phase", o.tid, p0, t);
+                    }
+                    let cat = match ev {
+                        Event::TaskEnd { .. } => "task",
+                        Event::TaskKilled { .. } => "task-killed",
+                        _ => "task-failed",
+                    };
+                    push_span(&mut spans, &labels.task(task), cat, o.tid, o.start, t);
+                    let sub = (o.tid % STRIDE) as usize;
+                    if let Some(b) = busy
+                        .get_mut(o.node as usize)
+                        .and_then(|row| row.get_mut(sub))
+                    {
+                        *b = false;
+                    }
+                }
+            }
+            Event::Fault { kind, node } => {
+                instants.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"p\",\
+                     \"pid\":{},\"tid\":{},\"ts\":{:.3}}}",
+                    kind.label(),
+                    WF_PID,
+                    node * STRIDE,
+                    us(t),
+                ));
+            }
+            Event::NodeRecovered { node } => {
+                instants.push(format!(
+                    "{{\"name\":\"recovered\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"p\",\
+                     \"pid\":{},\"tid\":{},\"ts\":{:.3}}}",
+                    WF_PID,
+                    node * STRIDE,
+                    us(t),
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    // Any task still open at the end of the stream (e.g. a truncated
+    // trace) closes at the last observed timestamp.
+    for (task, slot) in open.iter_mut().enumerate() {
+        if let Some(o) = slot.take() {
+            if let Some((p, p0)) = o.phase {
+                push_span(&mut spans, p.label(), "phase", o.tid, p0, t_end);
+            }
+            push_span(
+                &mut spans,
+                &labels.task(task as u32),
+                "task",
+                o.tid,
+                o.start,
+                t_end,
+            );
+        }
+    }
+
+    let mut parts: Vec<String> = Vec::new();
+    parts.push(format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{WF_PID},\"tid\":0,\
+         \"args\":{{\"name\":\"workflow\"}}}}"
+    ));
+    parts.push(format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{COUNTER_PID},\"tid\":0,\
+         \"args\":{{\"name\":\"counters\"}}}}"
+    ));
+    lanes.sort_by_key(|(tid, _)| *tid);
+    for (tid, name) in &lanes {
+        parts.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{WF_PID},\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            esc(name)
+        ));
+        parts.push(format!(
+            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":{WF_PID},\"tid\":{tid},\
+             \"args\":{{\"sort_index\":{tid}}}}}"
+        ));
+    }
+    parts.extend(spans);
+    parts.extend(instants);
+
+    let mut names: Vec<&str> = report.metrics.series_names().collect();
+    names.sort_unstable();
+    for name in names {
+        let Some(pts) = report.metrics.series(name) else {
+            continue;
+        };
+        for &(t, v) in pts {
+            parts.push(format!(
+                "{{\"name\":\"{}\",\"ph\":\"C\",\"pid\":{COUNTER_PID},\"tid\":0,\
+                 \"ts\":{:.3},\"args\":{{\"value\":{}}}}}",
+                esc(name),
+                us(t),
+                v,
+            ));
+        }
+    }
+
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n",
+        parts.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::{ObsHandle, ObsLevel};
+
+    fn sample_report() -> ObsReport {
+        let h = ObsHandle::new(ObsLevel::Full, 3);
+        h.set_now(0);
+        h.emit(Event::TaskStart {
+            task: 0,
+            node: 0,
+            attempt: 0,
+        });
+        // A second task on the same node while the first is running:
+        // must land on a different sublane.
+        h.emit(Event::TaskStart {
+            task: 1,
+            node: 0,
+            attempt: 0,
+        });
+        h.set_now(1_000_000_000);
+        h.emit(Event::TaskPhase {
+            task: 0,
+            node: 0,
+            phase: Phase::Compute,
+        });
+        h.set_now(2_000_000_000);
+        h.emit(Event::TaskEnd {
+            task: 0,
+            node: 0,
+            attempt: 1,
+        });
+        h.emit(Event::TaskEnd {
+            task: 1,
+            node: 0,
+            attempt: 1,
+        });
+        h.take_report().unwrap()
+    }
+
+    #[test]
+    fn concurrent_tasks_get_distinct_lanes() {
+        let json = chrome_trace(&sample_report(), &ChromeLabels::default());
+        assert!(json.contains("\"tid\":0"), "sublane 0 missing");
+        assert!(json.contains("\"tid\":1"), "sublane 1 missing");
+        assert!(json.contains("\"name\":\"w0\""));
+        assert!(json.contains("\"name\":\"w0+1\""));
+    }
+
+    #[test]
+    fn spans_carry_microsecond_times() {
+        let json = chrome_trace(&sample_report(), &ChromeLabels::default());
+        // Phase span: 1s..2s -> ts 1e6 µs, dur 1e6 µs.
+        assert!(
+            json.contains("\"ts\":1000000.000,\"dur\":1000000.000"),
+            "phase timing missing in:\n{json}"
+        );
+        assert!(json.contains("\"name\":\"compute\""));
+    }
+
+    #[test]
+    fn labels_and_escaping_are_applied() {
+        let labels = ChromeLabels {
+            task_names: vec!["say \"hi\"".into()],
+            node_names: vec!["node\\0".into()],
+        };
+        let json = chrome_trace(&sample_report(), &labels);
+        assert!(json.contains("say \\\"hi\\\""));
+        assert!(json.contains("node\\\\0"));
+    }
+}

@@ -1,0 +1,35 @@
+//! `wfobs` — simulation-wide observability.
+//!
+//! A dependency-free instrumentation layer the rest of the stack emits
+//! into: a zero-overhead-when-disabled [event bus](bus::ObsHandle) of
+//! typed [events](event::Event), a deterministic [metrics
+//! registry](metrics::Metrics), a [Chrome-trace exporter](chrome), and a
+//! [streaming run digest](digest::RunDigest) that turns "did this run
+//! replay byte-identically?" into a single `u64` comparison.
+//!
+//! Design rules (see DESIGN.md § Observability):
+//!
+//! - **Zero overhead off.** The handle is a nullable `Rc`; with
+//!   observability off every emission is one branch.
+//! - **Integer ids on the hot path.** Events are `Copy` structs over
+//!   `u32`/`u64` ids; names are joined back in by exporters after the run.
+//! - **Simulated time only.** The simulation loop stamps the bus clock;
+//!   nothing reads wall clock, so metrics and digests are deterministic.
+//! - **Digest ⊂ Full.** Both levels absorb the identical event stream
+//!   into the digest; `Full` additionally records events and metrics, so
+//!   a digest taken while exporting traces matches one taken without.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod chrome;
+pub mod digest;
+pub mod event;
+pub mod metrics;
+
+pub use bus::{nanos_from_secs, ObsHandle, ObsLevel, ObsReport};
+pub use chrome::{chrome_trace, ChromeLabels};
+pub use digest::RunDigest;
+pub use event::{Event, FaultKind, OpKind, Phase};
+pub use metrics::{Histogram, Metrics};

@@ -1,0 +1,196 @@
+//! Deterministic metrics registry: counters, gauges, fixed-bucket
+//! histograms and per-resource time-series.
+//!
+//! Everything here is sampled on *event boundaries* — a metric moves only
+//! when an [`Event`](crate::event::Event) is emitted, never on wall clock —
+//! so two same-seed runs produce byte-identical metric dumps.
+
+use std::collections::BTreeMap;
+
+/// A fixed-bucket histogram. Bucket upper bounds are chosen at
+/// construction; values above the last bound land in an overflow bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Inclusive upper bound of each bucket, ascending.
+    pub bounds: Vec<u64>,
+    /// `bounds.len() + 1` counts; the last is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total of all observed values (for means).
+    pub sum: u64,
+    /// Number of observations.
+    pub n: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending bucket bounds.
+    pub fn new(bounds: &[u64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0,
+            n: 0,
+        }
+    }
+
+    /// Record one value.
+    pub fn observe(&mut self, v: u64) {
+        let ix = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[ix] += 1;
+        self.sum += v;
+        self.n += 1;
+    }
+}
+
+/// One point of a per-resource time series: simulated time and value.
+pub type SeriesPoint = (u64, f64);
+
+/// The metrics registry. All maps are `BTreeMap` so iteration (and hence
+/// CSV output) is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    series: BTreeMap<String, Vec<SeriesPoint>>,
+}
+
+impl Metrics {
+    /// Add `by` to a named counter.
+    pub fn count(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Set a named gauge.
+    pub fn gauge(&mut self, name: &'static str, v: f64) {
+        self.gauges.insert(name, v);
+    }
+
+    /// Record a value into a named histogram, creating it with the given
+    /// bounds on first use.
+    pub fn observe(&mut self, name: &'static str, bounds: &[u64], v: u64) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(v);
+    }
+
+    /// Append a time-series point, skipping exact duplicates of the last
+    /// sample (event boundaries often re-sample an unchanged value).
+    pub fn sample(&mut self, series: &str, t_nanos: u64, v: f64) {
+        let pts = match self.series.get_mut(series) {
+            Some(p) => p,
+            None => {
+                self.series.insert(series.to_owned(), Vec::new());
+                self.series.get_mut(series).expect("just inserted")
+            }
+        };
+        if pts.last().is_some_and(|&(lt, lv)| lt == t_nanos && lv == v) {
+            return;
+        }
+        pts.push((t_nanos, v));
+    }
+
+    /// Read a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Read a gauge.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Read a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Read a time series.
+    pub fn series(&self, name: &str) -> Option<&[SeriesPoint]> {
+        self.series.get(name).map(Vec::as_slice)
+    }
+
+    /// All series names, sorted.
+    pub fn series_names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// Render the whole registry as CSV: one section per metric family.
+    /// Times are seconds with nanosecond precision.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("kind,name,field,value\n");
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter,{name},value,{v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge,{name},value,{v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            for (i, c) in h.counts.iter().enumerate() {
+                let bound = h
+                    .bounds
+                    .get(i)
+                    .map_or_else(|| "+inf".to_owned(), u64::to_string);
+                out.push_str(&format!("histogram,{name},le={bound},{c}\n"));
+            }
+            out.push_str(&format!("histogram,{name},sum,{}\n", h.sum));
+            out.push_str(&format!("histogram,{name},count,{}\n", h.n));
+        }
+        for (name, pts) in &self.series {
+            for &(t, v) in pts {
+                let secs = t as f64 / 1e9;
+                out.push_str(&format!("series,{name},t={secs:.9},{v}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[10, 100]);
+        h.observe(5);
+        h.observe(10);
+        h.observe(50);
+        h.observe(1000);
+        assert_eq!(h.counts, vec![2, 1, 1]);
+        assert_eq!(h.n, 4);
+        assert_eq!(h.sum, 1065);
+    }
+
+    #[test]
+    fn series_dedups_identical_consecutive_points() {
+        let mut m = Metrics::default();
+        m.sample("q", 10, 1.0);
+        m.sample("q", 10, 1.0);
+        m.sample("q", 20, 1.0);
+        m.sample("q", 20, 2.0);
+        assert_eq!(m.series("q").unwrap(), &[(10, 1.0), (20, 1.0), (20, 2.0)]);
+    }
+
+    #[test]
+    fn csv_is_deterministic_and_sectioned() {
+        let mut m = Metrics::default();
+        m.count("b_counter", 2);
+        m.count("a_counter", 1);
+        m.gauge("g", 0.5);
+        m.observe("h", &[1], 3);
+        m.sample("s", 1_500_000_000, 4.0);
+        let csv = m.to_csv();
+        let a = csv.find("counter,a_counter").unwrap();
+        let b = csv.find("counter,b_counter").unwrap();
+        assert!(a < b, "counters must be sorted");
+        assert!(csv.contains("histogram,h,le=+inf,1"));
+        assert!(csv.contains("series,s,t=1.500000000,4"));
+        assert_eq!(csv, m.to_csv());
+    }
+}

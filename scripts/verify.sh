@@ -11,7 +11,11 @@
 #                      cargo fmt --check
 #                      no #[ignore] without a reason string
 # Perf smoke:          repro --bench-smoke (writes BENCH.json; asserts the
-#                      incremental and reference flow engines agree)
+#                      incremental and reference flow engines agree, and
+#                      that the disabled-bus kernel path stays within 2%
+#                      of the committed baseline)
+# Golden digest:       repro --golden-digest (the fixed tiny workflow must
+#                      reproduce tests/golden_digest.txt bit for bit)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,6 +46,9 @@ cargo clippy --workspace --all-targets -q -- -D warnings
 
 echo "== lint: rustfmt =="
 cargo fmt --check
+
+echo "== golden digest =="
+cargo run --release -q -p expt --bin repro -- --golden-digest
 
 echo "== perf smoke =="
 cargo run --release -q -p expt --bin repro -- --bench-smoke
