@@ -95,6 +95,9 @@ pub struct UsageReport {
 /// run has exactly one per node spanning the makespan.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BilledSegment {
+    /// Cluster node id the incarnation belonged to. Not priced — carried
+    /// so exporters can attach billing records to the right node span.
+    pub node: u32,
     /// The instance type held.
     pub itype: InstanceType,
     /// Seconds from acquisition to release (or termination).
@@ -298,17 +301,20 @@ mod tests {
         // node with the same useful time.
         let churned = [
             BilledSegment {
+                node: 0,
                 itype: InstanceType::C1Xlarge,
                 secs: 1800.0,
                 spot: false,
             },
             BilledSegment {
+                node: 0,
                 itype: InstanceType::C1Xlarge,
                 secs: 1800.0,
                 spot: false,
             },
         ];
         let unbroken = [BilledSegment {
+            node: 0,
             itype: InstanceType::C1Xlarge,
             secs: 3600.0,
             spot: false,
@@ -325,6 +331,7 @@ mod tests {
     fn spot_segments_bill_at_the_spot_rate() {
         let m = CostModel::default();
         let seg = |spot| BilledSegment {
+            node: 0,
             itype: InstanceType::C1Xlarge,
             secs: 600.0,
             spot,
@@ -343,7 +350,8 @@ mod tests {
         let m = CostModel::default();
         let secs = 2750.0;
         let segs: Vec<BilledSegment> = (0..4)
-            .map(|_| BilledSegment {
+            .map(|node| BilledSegment {
+                node,
                 itype: InstanceType::C1Xlarge,
                 secs,
                 spot: false,

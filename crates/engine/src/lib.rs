@@ -42,8 +42,9 @@ pub use config::{
 };
 pub use run::{run_workflow, FaultSummary, ResourceRow, RunError, RunStats};
 pub use trace::{
-    fault_summary_from_bus, jobstate_log, jobstate_log_from_bus, phase_breakdown,
-    phase_breakdown_from_bus, render_fault_summary, render_gantt_from_bus, PhaseBreakdown,
+    fault_summary_from_bus, jobstate_log, jobstate_log_from_bus, otlp_labels, phase_breakdown,
+    phase_breakdown_from_bus, phase_breakdown_from_otlp, render_fault_summary,
+    render_gantt_from_bus, segments_from_otlp, PhaseBreakdown,
 };
 pub use world::{FaultCounters, NodeSched, NodeSegment, TaskRecord, World};
 

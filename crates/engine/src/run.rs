@@ -179,7 +179,10 @@ pub fn run_workflow(workflow: Workflow, cfg: RunConfig) -> Result<RunStats, RunE
             total,
         });
     }
-    let makespan_secs = makespan(&world).expect("all tasks done").as_secs_f64();
+    // A zero-task workflow never sets `finished_at` (nothing completes);
+    // it finishes the moment it starts.
+    let finished = makespan(&world).unwrap_or(SimTime::ZERO);
+    let makespan_secs = finished.as_secs_f64();
 
     let mut total_io_secs = 0.0;
     let mut total_cpu_secs = 0.0;
@@ -213,12 +216,12 @@ pub fn run_workflow(workflow: Workflow, cfg: RunConfig) -> Result<RunStats, RunE
     // Billing segments: close every still-open lease at the moment the
     // workflow finished (events after the last completion — late fault
     // draws, drained timers — must not inflate the bill).
-    let finished = makespan(&world).expect("all tasks done");
     let mut segments = Vec::new();
     for (i, node) in world.cluster.nodes().iter().enumerate() {
         for seg in &world.node_segments[i] {
             let close = seg.close.unwrap_or(finished);
             segments.push(BilledSegment {
+                node: i as u32,
                 itype: node.itype,
                 secs: close.since(seg.open).as_secs_f64(),
                 spot: seg.spot,

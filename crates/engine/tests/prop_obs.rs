@@ -9,6 +9,10 @@
 //!    seed → same digest (at `Digest` *and* `Full` level — the digest
 //!    must not depend on whether events are also being recorded);
 //!    different seeds → different digests.
+//! 3. **Levels record exactly what they promise.** Sampling
+//!    `Off`/`Digest`/`Full`: `Off` produces neither digest nor report,
+//!    `Digest` produces the digest but no exporter-visible events, and
+//!    `Full` produces both with the same digest value.
 
 use proptest::prelude::*;
 use wfengine::{run_workflow, RunConfig, RunStats};
@@ -194,5 +198,47 @@ proptest! {
         prop_assert_eq!(a.digest, b.digest, "same-seed digests diverged");
         prop_assert_eq!(a.digest, full.digest, "Digest and Full levels disagree");
         prop_assert!(a.digest != other.digest, "different seeds collided");
+    }
+
+    /// Each observability level records exactly what it promises: `Off`
+    /// nothing, `Digest` only the digest (no exporter-visible event log),
+    /// `Full` the digest plus a non-empty report that agrees with it.
+    #[test]
+    fn obs_levels_record_what_they_promise(
+        tasks in proptest::collection::vec(gen_task(), 1..8),
+        kind_ix in 0usize..KINDS.len(),
+        workers in 2u32..5,
+        seed in 0u64..=u64::MAX,
+        level_ix in 0usize..3,
+    ) {
+        let level = [ObsLevel::Off, ObsLevel::Digest, ObsLevel::Full][level_ix];
+        let stats = run(&tasks, kind_ix, workers, seed, level);
+        match level {
+            ObsLevel::Off => {
+                prop_assert!(stats.digest.is_none(), "Off must not digest");
+                prop_assert!(stats.obs.is_none(), "Off must not record");
+            }
+            ObsLevel::Digest => {
+                prop_assert!(stats.digest.is_some(), "Digest must digest");
+                prop_assert!(
+                    stats.obs.is_none(),
+                    "Digest must emit no exporter-visible events"
+                );
+            }
+            ObsLevel::Full => {
+                let report = stats.obs.as_ref().expect("Full records a report");
+                prop_assert!(!report.events.is_empty(), "Full recorded no events");
+                prop_assert_eq!(
+                    stats.digest,
+                    Some(report.digest),
+                    "report digest and stats digest diverged"
+                );
+            }
+        }
+        // The digest value itself never depends on the recording level.
+        if level != ObsLevel::Off {
+            let other = run(&tasks, kind_ix, workers, seed, ObsLevel::Digest);
+            prop_assert_eq!(stats.digest, other.digest);
+        }
     }
 }

@@ -19,11 +19,12 @@ use wfgen::App;
 /// (where `scripts/verify.sh` runs).
 const GOLDEN_PATH: &str = "tests/golden_digest.txt";
 
-/// Run the fixed golden workflow — a small diamond on GlusterFS/NUFA
-/// with 2 workers, seed 42 — and return its run digest. Any change to
-/// event ordering, payloads or timing anywhere in the stack moves this
-/// value; `verify.sh` compares it against [`GOLDEN_PATH`].
-fn golden_digest_run() -> u64 {
+/// Path of the checked-in golden OTLP trace.
+const GOLDEN_OTLP_PATH: &str = "tests/golden_otlp.json";
+
+/// The fixed golden workflow: a small diamond, run on GlusterFS/NUFA
+/// with 2 workers, seed 42.
+fn golden_workflow() -> wfdag::Workflow {
     let mut b = wfdag::WorkflowBuilder::new("golden");
     let fin = b.file("in.dat", 5_000_000);
     let f1 = b.file("f1.dat", 5_000_000);
@@ -35,14 +36,41 @@ fn golden_digest_run() -> u64 {
     b.task("c", "rhs", 3.0, 100 << 20, vec![f2], vec![fout]);
     let f4 = b.file("out2.dat", 5_000_000);
     b.task("d", "join", 1.0, 100 << 20, vec![f3], vec![f4]);
-    let wf = b.build().expect("golden workflow is well-formed");
+    b.build().expect("golden workflow is well-formed")
+}
+
+/// Run the golden workflow and return its run digest. Any change to
+/// event ordering, payloads or timing anywhere in the stack moves this
+/// value; `verify.sh` compares it against [`GOLDEN_PATH`].
+fn golden_digest_run() -> u64 {
     let cfg = wfengine::RunConfig::cell(expt::StorageKind::GlusterNufa, 2)
         .with_seed(42)
         .with_obs(wfobs::ObsLevel::Digest);
-    wfengine::run_workflow(wf, cfg)
+    wfengine::run_workflow(golden_workflow(), cfg)
         .expect("golden run succeeds")
         .digest
         .expect("digest present at ObsLevel::Digest")
+}
+
+/// Run the golden workflow at Full observability and render its OTLP
+/// trace document. Pins the whole export pipeline — event stream, span
+/// mapping, id derivation, JSON shape — byte for byte; `verify.sh`
+/// compares it against [`GOLDEN_OTLP_PATH`].
+fn golden_otlp_run() -> String {
+    let wf = golden_workflow();
+    let cfg = wfengine::RunConfig::cell(expt::StorageKind::GlusterNufa, 2)
+        .with_seed(42)
+        .with_obs(wfobs::ObsLevel::Full);
+    let stats = wfengine::run_workflow(wf.clone(), cfg).expect("golden run succeeds");
+    let report = stats.obs.as_ref().expect("report present at Full");
+    let labels = wfengine::otlp_labels(&stats, &wf, expt::StorageKind::GlusterNufa.label(), 2);
+    let doc = wfobs::otlp_trace(report, &labels);
+    assert_eq!(
+        doc,
+        wfobs::otlp_trace(report, &labels),
+        "OTLP export must be byte-deterministic"
+    );
+    doc
 }
 
 /// One engine's best wall time recorded in an existing `BENCH.json`, if
@@ -103,6 +131,35 @@ fn main() {
             std::process::exit(1);
         }
         println!("golden digest ok: {hex}");
+        return;
+    }
+
+    if args.iter().any(|a| a == "--golden-otlp") {
+        // Export-conformance golden check: the fixed workflow's OTLP
+        // trace must reproduce the checked-in document byte for byte.
+        let doc = golden_otlp_run();
+        if args.iter().any(|a| a == "--update") {
+            std::fs::write(GOLDEN_OTLP_PATH, &doc).expect("write golden OTLP");
+            println!(
+                "golden OTLP updated: {} bytes -> {GOLDEN_OTLP_PATH}",
+                doc.len()
+            );
+            return;
+        }
+        let want = std::fs::read_to_string(GOLDEN_OTLP_PATH).unwrap_or_else(|e| {
+            panic!("read {GOLDEN_OTLP_PATH} (run with --update to create): {e}")
+        });
+        if want != doc {
+            eprintln!(
+                "golden OTLP mismatch ({} bytes vs expected {}) — the exported \
+                 span tree of the fixed workflow changed; if intentional, rerun \
+                 with --golden-otlp --update",
+                doc.len(),
+                want.len()
+            );
+            std::process::exit(1);
+        }
+        println!("golden OTLP ok: {} bytes", doc.len());
         return;
     }
 

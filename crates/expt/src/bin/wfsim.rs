@@ -6,6 +6,7 @@
 //!              [--tiny] [--seed N] [--data-aware] [--cluster K]
 //!              [--failures P --retries K] [--gantt] [--trace FILE]
 //!              [--trace-out FILE] [--metrics-out FILE] [--digest]
+//!              [--otlp-out DIR] [--folded-out FILE]
 //! wfsim sweep  --app broadband [--tiny] [--seed N]
 //! wfsim profile --app epigenome
 //! wfsim export --app montage --tiny --out montage.json
@@ -142,17 +143,22 @@ fn cmd_run(args: &Args) {
     let mut cfg = build_config(args);
     // Exporters need the recorded event stream; a bare --digest only needs
     // the streaming hash. Anything else leaves the bus disabled.
-    if args.opts.contains_key("trace-out") || args.opts.contains_key("metrics-out") {
+    if args.opts.contains_key("trace-out")
+        || args.opts.contains_key("metrics-out")
+        || args.opts.contains_key("otlp-out")
+        || args.opts.contains_key("folded-out")
+    {
         cfg.obs = wfobs::ObsLevel::Full;
     } else if args.flags.iter().any(|f| f == "digest") {
         cfg.obs = wfobs::ObsLevel::Digest;
     }
     let workers = cfg.workers;
+    let storage_label = cfg.storage.label();
     println!(
         "running {} ({} tasks) on {} with {} worker(s)…",
         wf.name,
         wf.task_count(),
-        cfg.storage.label(),
+        storage_label,
         workers
     );
     let wf_for_log = wf.clone();
@@ -190,6 +196,33 @@ fn cmd_run(args: &Args) {
                 std::fs::write(path, report.metrics.to_csv())
                     .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
                 println!("metrics written to {path}");
+            }
+            if let Some(dir) = args.opts.get("otlp-out") {
+                let report = stats.obs.as_ref().expect("Full level records a report");
+                let labels = trace::otlp_labels(&stats, &wf_for_log, storage_label, workers);
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| die(&format!("cannot create {dir}: {e}")));
+                let traces = format!("{dir}/traces.json");
+                let metrics = format!("{dir}/metrics.json");
+                std::fs::write(&traces, wfobs::otlp_trace(report, &labels))
+                    .unwrap_or_else(|e| die(&format!("cannot write {traces}: {e}")));
+                std::fs::write(&metrics, wfobs::otlp_metrics(report, &labels))
+                    .unwrap_or_else(|e| die(&format!("cannot write {metrics}: {e}")));
+                println!(
+                    "OTLP trace + metrics written to {dir}/ (POST to an OTLP/HTTP \
+                     collector's /v1/traces and /v1/metrics)"
+                );
+            }
+            if let Some(path) = args.opts.get("folded-out") {
+                let report = stats.obs.as_ref().expect("Full level records a report");
+                let task_names: Vec<String> =
+                    wf_for_log.tasks().iter().map(|t| t.name.clone()).collect();
+                std::fs::write(
+                    path,
+                    wfobs::folded_storage_stacks(report, &task_names, storage_label),
+                )
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+                println!("folded stacks written to {path} (feed to flamegraph.pl)");
             }
             if let Some(d) = stats.digest {
                 println!("run digest {d:016x}");

@@ -1,0 +1,52 @@
+//! Golden-file test for the folded-stack storage flamegraph exporter: a
+//! small Montage run on GlusterFS (NUFA) must produce exactly the
+//! checked-in `backend;op_kind;task weight` lines. Regenerate after an
+//! intentional change with
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p expt --test folded_golden
+//! ```
+
+use wfengine::{run_workflow, RunConfig};
+use wfgen::App;
+use wfobs::ObsLevel;
+use wfstorage::StorageKind;
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/montage_folded.txt"
+);
+
+#[test]
+fn montage_folded_stacks_match_golden() {
+    let kind = StorageKind::GlusterNufa;
+    let wf = App::Montage.tiny_workflow();
+    let task_names: Vec<String> = wf.tasks().iter().map(|t| t.name.clone()).collect();
+    let cfg = RunConfig::cell(kind, 2)
+        .with_seed(42)
+        .with_obs(ObsLevel::Full);
+    let stats = run_workflow(wf, cfg).expect("montage run succeeds");
+    let report = stats.obs.as_ref().expect("Full level records a report");
+    let folded = wfobs::folded_storage_stacks(report, &task_names, kind.label());
+
+    // Shape invariants, independent of the pinned bytes.
+    for line in folded.lines() {
+        let (stack, weight) = line.rsplit_once(' ').expect("`stack weight` shape");
+        let parts: Vec<_> = stack.split(';').collect();
+        assert_eq!(parts.len(), 3, "backend;op_kind;task: {line}");
+        assert_eq!(parts[0], kind.label());
+        let w: u64 = weight.parse().expect("integer microsecond weight");
+        assert!(w > 0, "zero-weight lines are omitted: {line}");
+    }
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &folded).expect("write golden fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN)
+        .expect("golden fixture missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        folded, want,
+        "folded stacks drifted from {GOLDEN}; rerun with UPDATE_GOLDEN=1 if intentional"
+    );
+}

@@ -41,6 +41,12 @@ impl InstanceType {
         }
     }
 
+    /// Parse an Amazon API name back into a catalog entry (the inverse of
+    /// [`api_name`](Self::api_name)); `None` for names outside the catalog.
+    pub fn from_api_name(name: &str) -> Option<InstanceType> {
+        InstanceType::ALL.into_iter().find(|t| t.api_name() == name)
+    }
+
     /// Number of physical cores (Condor slots) exposed.
     pub fn cores(self) -> u32 {
         match self {
@@ -165,6 +171,14 @@ mod tests {
             let ratio = f64::from(spot) / f64::from(demand);
             assert!((0.3..0.5).contains(&ratio), "{t:?}: ratio {ratio}");
         }
+    }
+
+    #[test]
+    fn api_names_round_trip() {
+        for t in InstanceType::ALL {
+            assert_eq!(InstanceType::from_api_name(t.api_name()), Some(t));
+        }
+        assert_eq!(InstanceType::from_api_name("t2.micro"), None);
     }
 
     #[test]

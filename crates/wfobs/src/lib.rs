@@ -3,9 +3,12 @@
 //! A dependency-free instrumentation layer the rest of the stack emits
 //! into: a zero-overhead-when-disabled [event bus](bus::ObsHandle) of
 //! typed [events](event::Event), a deterministic [metrics
-//! registry](metrics::Metrics), a [Chrome-trace exporter](chrome), and a
-//! [streaming run digest](digest::RunDigest) that turns "did this run
-//! replay byte-identically?" into a single `u64` comparison.
+//! registry](metrics::Metrics), a [Chrome-trace exporter](chrome), an
+//! [OTLP/JSON exporter](otlp) with an in-repo conformance
+//! [decoder](otlp::decode), a [folded-stack flamegraph
+//! exporter](folded), and a [streaming run digest](digest::RunDigest)
+//! that turns "did this run replay byte-identically?" into a single
+//! `u64` comparison.
 //!
 //! Design rules (see DESIGN.md § Observability):
 //!
@@ -26,10 +29,14 @@ pub mod bus;
 pub mod chrome;
 pub mod digest;
 pub mod event;
+pub mod folded;
 pub mod metrics;
+pub mod otlp;
 
 pub use bus::{nanos_from_secs, ObsHandle, ObsLevel, ObsReport};
 pub use chrome::{chrome_trace, ChromeLabels};
 pub use digest::RunDigest;
 pub use event::{Event, FaultKind, OpKind, Phase};
+pub use folded::folded_storage_stacks;
 pub use metrics::{Histogram, Metrics};
+pub use otlp::{otlp_metrics, otlp_trace, OtlpLabels, SegmentLabel};

@@ -119,6 +119,21 @@ impl Metrics {
         self.series.keys().map(String::as_str)
     }
 
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> {
+        self.histograms.iter().map(|(&k, v)| (k, v))
+    }
+
     /// Render the whole registry as CSV: one section per metric family.
     /// Times are seconds with nanosecond precision.
     pub fn to_csv(&self) -> String {

@@ -1,0 +1,1496 @@
+//! OTLP/JSON export: OpenTelemetry `ExportTraceServiceRequest` /
+//! `ExportMetricsServiceRequest` documents rendered from a Full-level
+//! [`ObsReport`](crate::bus::ObsReport) — no network, no protobuf crate,
+//! file-sink only, byte-deterministic.
+//!
+//! The mapper turns the flat event stream into a span tree:
+//!
+//! ```text
+//! run <name>                                  (single root per run)
+//! └─ node w3 #0..#k   (one span per billing incarnation; SegmentOpen/
+//!    │                 SegmentClose; StorageOp/CacheHit/CacheMiss are
+//!    │                 span events; billing attrs; links to the
+//!    │                 previous incarnation)
+//!    └─ task mProject_17 (one span per execution attempt; TaskStart →
+//!       │                 TaskEnd/TaskKilled/TaskFailed; retries link
+//!       │                 to the previous attempt)
+//!       └─ overhead / ops / stage-in / read / compute / write /
+//!          stage-out  (one span per lifecycle phase interval)
+//! ```
+//!
+//! Fault-class events (`Fault`, `FilesLost`, `RescueResubmit`,
+//! `NodeRecovered`) become span events on the root; resource attributes
+//! carry the seed, workflow name, storage backend, cluster size and the
+//! final run digest.
+//!
+//! **Id derivation.** The 128-bit trace id and every 64-bit span id are
+//! FNV-1a hashes chained from `(seed, digest)` — the same digest stream
+//! that pins replay fidelity — plus the span's structural identity (kind
+//! tag, integer id, occurrence ordinal). Same seed + config ⇒ the same
+//! digest ⇒ byte-identical OTLP files; the conformance suite asserts
+//! uniqueness and reproducibility.
+//!
+//! **Timestamps.** `timeUnixNano` fields carry *simulated* nanoseconds
+//! with epoch 0 = run start (the simulator has no wall clock). Backends
+//! like Jaeger/Tempo render such traces as early-1970 sessions, which is
+//! harmless; relative durations — the paper's deliverable — are exact.
+//!
+//! The [`decode`] submodule is the other half of the conformance
+//! contract: a minimal in-repo OTLP/JSON reader used only by tests, so
+//! well-formedness (single root, resolving parents, nested intervals,
+//! unique reproducible ids) and parity (phase/cost reconstruction) are
+//! checked end to end through real bytes.
+
+use crate::bus::ObsReport;
+use crate::event::{Event, OpKind, Phase};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+fn fnv_step(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// Human-readable labels and run metadata the exporter joins back onto
+/// the integer-id event stream. Everything here is optional: missing
+/// task/node names render as `t<id>`/`w<id>`, missing metadata renders
+/// as empty attributes.
+#[derive(Debug, Clone, Default)]
+pub struct OtlpLabels {
+    /// `service.name` resource attribute (e.g. `wfsim`).
+    pub service_name: String,
+    /// Workflow/run name (`wf.run.name` resource attribute, root span name).
+    pub run_name: String,
+    /// Storage backend label (`wf.storage.backend` resource attribute).
+    pub storage: String,
+    /// Cluster size (`wf.cluster.workers` resource attribute).
+    pub workers: u32,
+    /// Task names by task id.
+    pub task_names: Vec<String>,
+    /// Node labels by node id.
+    pub node_names: Vec<String>,
+    /// Billed lease intervals, in per-node incarnation order; attached as
+    /// `wf.billing.*` attributes to the matching node-incarnation span.
+    pub segments: Vec<SegmentLabel>,
+}
+
+/// One billed instance incarnation, as attached to a node span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentLabel {
+    /// Cluster node id the incarnation belonged to.
+    pub node: u32,
+    /// Instance-type API name (e.g. `c1.xlarge`).
+    pub itype: String,
+    /// Whether the incarnation ran on the spot market.
+    pub spot: bool,
+    /// Billed seconds from acquisition to release.
+    pub secs: f64,
+}
+
+impl OtlpLabels {
+    fn task(&self, id: u32) -> String {
+        self.task_names
+            .get(id as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("t{id}"))
+    }
+
+    fn node(&self, id: u32) -> String {
+        self.node_names
+            .get(id as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("w{id}"))
+    }
+}
+
+/// A typed attribute value (the subset of OTLP `AnyValue` we emit).
+#[derive(Debug, Clone, PartialEq)]
+enum Attr {
+    Str(String),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+}
+
+type Attrs = Vec<(&'static str, Attr)>;
+
+/// One span being assembled by the mapper.
+#[derive(Debug)]
+struct SpanBuf {
+    id: u64,
+    /// 0 = no parent (the root span).
+    parent: u64,
+    name: String,
+    start: u64,
+    end: u64,
+    attrs: Attrs,
+    events: Vec<(u64, &'static str, Attrs)>,
+    /// `(span id, wf.link attribute)` pairs; linked spans share the trace.
+    links: Vec<(u64, &'static str)>,
+    /// OTLP status code: 0 unset, 1 ok, 2 error.
+    status: u8,
+}
+
+impl SpanBuf {
+    fn new(id: u64, parent: u64, name: String, start: u64) -> Self {
+        SpanBuf {
+            id,
+            parent,
+            name,
+            start,
+            end: start,
+            attrs: Vec::new(),
+            events: Vec::new(),
+            links: Vec::new(),
+            status: 0,
+        }
+    }
+}
+
+/// Deterministic id generator chained from `(seed, digest)`.
+struct IdGen {
+    base: u64,
+}
+
+impl IdGen {
+    fn new(seed: u64, digest: u64) -> Self {
+        let mut base = fnv_step(FNV_OFFSET, b"wfobs.otlp");
+        base = fnv_step(base, &seed.to_le_bytes());
+        base = fnv_step(base, &digest.to_le_bytes());
+        IdGen { base }
+    }
+
+    /// 128-bit trace id as `(hi, lo)`.
+    fn trace_id(&self) -> (u64, u64) {
+        (
+            fnv_step(self.base, b"trace.hi"),
+            fnv_step(self.base, b"trace.lo"),
+        )
+    }
+
+    /// 64-bit span id from a structural identity. Never returns 0 (the
+    /// OTLP "invalid span id").
+    fn span_id(&self, tag: u8, a: u64, b: u64) -> u64 {
+        let mut s = fnv_step(self.base, &[tag]);
+        s = fnv_step(s, &a.to_le_bytes());
+        s = fnv_step(s, &b.to_le_bytes());
+        if s == 0 {
+            1
+        } else {
+            s
+        }
+    }
+}
+
+const TAG_RUN: u8 = 0;
+const TAG_NODE: u8 = 1;
+const TAG_TASK: u8 = 2;
+const TAG_PHASE: u8 = 3;
+
+/// Phase label including the implicit dispatch-overhead interval.
+fn phase_label(p: Option<Phase>) -> &'static str {
+    match p {
+        None => "overhead",
+        Some(p) => p.label(),
+    }
+}
+
+fn op_event_name(op: OpKind) -> &'static str {
+    match op {
+        OpKind::Read => "storage.read",
+        OpKind::Write => "storage.write",
+        OpKind::StageIn => "storage.stage_in",
+        OpKind::StageOut => "storage.stage_out",
+        OpKind::OpStorm => "storage.op_storm",
+    }
+}
+
+/// Mapper state for one open task attempt.
+struct OpenAttempt {
+    span_ix: usize,
+    node: u32,
+    /// Occurrence ordinal of this attempt (counts `TaskStart`s).
+    ordinal: u64,
+    /// Currently open phase interval (`None` = dispatch overhead).
+    phase: Option<Phase>,
+    phase_start: u64,
+    phase_seq: u64,
+}
+
+/// Everything the span mapper produced.
+struct SpanForest {
+    trace_hi: u64,
+    trace_lo: u64,
+    spans: Vec<SpanBuf>,
+}
+
+/// Close the task's open phase interval as a phase span.
+#[allow(clippy::too_many_arguments)]
+fn close_phase(spans: &mut Vec<SpanBuf>, ids: &IdGen, task: u32, att: &mut OpenAttempt, t: u64) {
+    let id = ids.span_id(
+        TAG_PHASE,
+        u64::from(task),
+        (att.ordinal << 16) | att.phase_seq,
+    );
+    let mut s = SpanBuf::new(
+        id,
+        spans[att.span_ix].id,
+        phase_label(att.phase).to_string(),
+        att.phase_start,
+    );
+    s.end = t;
+    s.attrs
+        .push(("wf.phase", Attr::Str(phase_label(att.phase).to_string())));
+    spans.push(s);
+    att.phase_seq += 1;
+    att.phase_start = t;
+}
+
+/// Build the span tree from the recorded event stream.
+fn build_spans(report: &ObsReport, labels: &OtlpLabels) -> SpanForest {
+    let ids = IdGen::new(report.seed, report.digest);
+    let (trace_hi, trace_lo) = ids.trace_id();
+    let mut spans: Vec<SpanBuf> = Vec::new();
+
+    // Root span (index 0) — closed at the last observed timestamp.
+    let root_name = if labels.run_name.is_empty() {
+        "run".to_string()
+    } else {
+        format!("run {}", labels.run_name)
+    };
+    let root_id = ids.span_id(TAG_RUN, 0, 0);
+    let mut root = SpanBuf::new(root_id, 0, root_name, 0);
+    root.attrs.push(("wf.seed", Attr::I64(report.seed as i64)));
+    root.attrs
+        .push(("wf.digest", Attr::Str(format!("{:016x}", report.digest))));
+    root.attrs
+        .push(("wf.events", Attr::I64(report.events.len() as i64)));
+    root.status = 1;
+    spans.push(root);
+
+    // Per-node incarnation bookkeeping.
+    let mut inc_open: Vec<Option<usize>> = Vec::new(); // node -> open span ix
+    let mut inc_seen: Vec<u64> = Vec::new(); // node -> incarnations so far
+    let mut inc_prev: Vec<u64> = Vec::new(); // node -> previous incarnation span id
+                                             // Per-node billing cursor into `labels.segments` (grouped by node).
+    let mut seg_cursor: Vec<usize> = Vec::new();
+
+    // Per-task attempt bookkeeping (BTreeMap: end-of-stream closing must
+    // iterate deterministically).
+    let mut open_tasks: std::collections::BTreeMap<u32, OpenAttempt> =
+        std::collections::BTreeMap::new();
+    let mut starts_seen: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+    let mut prev_attempt: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+    let mut rescue_pending: std::collections::BTreeMap<u32, bool> =
+        std::collections::BTreeMap::new();
+
+    let grow = |v: &mut Vec<Option<usize>>, n: usize| {
+        if v.len() <= n {
+            v.resize(n + 1, None);
+        }
+    };
+
+    let mut t_end: u64 = 0;
+    for &(t, ev) in &report.events {
+        t_end = t_end.max(t);
+        match ev {
+            Event::SegmentOpen { node, spot } => {
+                let n = node as usize;
+                grow(&mut inc_open, n);
+                if inc_seen.len() <= n {
+                    inc_seen.resize(n + 1, 0);
+                    inc_prev.resize(n + 1, 0);
+                    seg_cursor.resize(n + 1, 0);
+                }
+                let ordinal = inc_seen[n];
+                inc_seen[n] += 1;
+                let id = ids.span_id(TAG_NODE, u64::from(node), ordinal);
+                let name = if ordinal == 0 {
+                    labels.node(node)
+                } else {
+                    format!("{} #{ordinal}", labels.node(node))
+                };
+                let mut s = SpanBuf::new(id, root_id, name, t);
+                s.attrs.push(("wf.node.id", Attr::I64(i64::from(node))));
+                s.attrs
+                    .push(("wf.node.incarnation", Attr::I64(ordinal as i64)));
+                s.attrs.push(("wf.node.spot", Attr::Bool(spot)));
+                // Pair the incarnation with its billed segment, in
+                // per-node order.
+                let mut skipped = seg_cursor[n];
+                for (i, seg) in labels.segments.iter().enumerate().skip(skipped) {
+                    if seg.node == node {
+                        s.attrs
+                            .push(("wf.billing.itype", Attr::Str(seg.itype.clone())));
+                        s.attrs.push(("wf.billing.spot", Attr::Bool(seg.spot)));
+                        s.attrs.push(("wf.billing.secs", Attr::F64(seg.secs)));
+                        skipped = i + 1;
+                        break;
+                    }
+                    skipped = i + 1;
+                }
+                seg_cursor[n] = skipped;
+                if ordinal > 0 {
+                    s.links.push((inc_prev[n], "previous_incarnation"));
+                }
+                s.status = 1;
+                inc_prev[n] = id;
+                inc_open[n] = Some(spans.len());
+                spans.push(s);
+            }
+            Event::SegmentClose { node } => {
+                let n = node as usize;
+                grow(&mut inc_open, n);
+                if let Some(ix) = inc_open[n].take() {
+                    spans[ix].end = t;
+                }
+            }
+            Event::TaskStart {
+                task,
+                node,
+                attempt,
+            } => {
+                let ordinal = {
+                    let c = starts_seen.entry(task).or_insert(0);
+                    let o = *c;
+                    *c += 1;
+                    o
+                };
+                let parent = inc_open
+                    .get(node as usize)
+                    .copied()
+                    .flatten()
+                    .map_or(root_id, |ix| spans[ix].id);
+                let id = ids.span_id(TAG_TASK, u64::from(task), ordinal);
+                let mut s = SpanBuf::new(id, parent, labels.task(task), t);
+                s.attrs.push(("wf.task.id", Attr::I64(i64::from(task))));
+                s.attrs
+                    .push(("wf.task.attempt", Attr::I64(i64::from(attempt))));
+                s.attrs.push(("wf.node.id", Attr::I64(i64::from(node))));
+                if let Some(prev) = prev_attempt.get(&task) {
+                    let kind = if rescue_pending.remove(&task).is_some() {
+                        "rescue_rerun_of"
+                    } else {
+                        "retry_of"
+                    };
+                    s.links.push((*prev, kind));
+                }
+                prev_attempt.insert(task, id);
+                open_tasks.insert(
+                    task,
+                    OpenAttempt {
+                        span_ix: spans.len(),
+                        node,
+                        ordinal,
+                        phase: None,
+                        phase_start: t,
+                        phase_seq: 0,
+                    },
+                );
+                spans.push(s);
+            }
+            Event::TaskPhase { task, phase, .. } => {
+                if let Some(att) = open_tasks.get_mut(&task) {
+                    close_phase(&mut spans, &ids, task, att, t);
+                    att.phase = Some(phase);
+                }
+            }
+            Event::TaskEnd { task, .. }
+            | Event::TaskKilled { task, .. }
+            | Event::TaskFailed { task, .. } => {
+                if let Some(mut att) = open_tasks.remove(&task) {
+                    close_phase(&mut spans, &ids, task, &mut att, t);
+                    let s = &mut spans[att.span_ix];
+                    s.end = t;
+                    let (outcome, status) = match ev {
+                        Event::TaskEnd { .. } => ("ok", 1),
+                        Event::TaskKilled { .. } => ("killed", 2),
+                        _ => ("failed", 2),
+                    };
+                    s.attrs
+                        .push(("wf.task.outcome", Attr::Str(outcome.to_string())));
+                    s.status = status;
+                    if let Event::TaskKilled { wasted_nanos, .. } = ev {
+                        s.attrs
+                            .push(("wf.task.wasted_nanos", Attr::I64(wasted_nanos as i64)));
+                    }
+                }
+            }
+            Event::StorageOp { op, node, bytes } => {
+                let target = inc_open.get(node as usize).copied().flatten().unwrap_or(0);
+                spans[target].events.push((
+                    t,
+                    op_event_name(op),
+                    vec![
+                        ("wf.op.kind", Attr::Str(op.label().to_string())),
+                        ("wf.op.bytes", Attr::I64(bytes as i64)),
+                        ("wf.node.id", Attr::I64(i64::from(node))),
+                    ],
+                ));
+            }
+            Event::CacheHit { node } => {
+                let target = inc_open.get(node as usize).copied().flatten().unwrap_or(0);
+                spans[target].events.push((
+                    t,
+                    "cache.hit",
+                    vec![("wf.node.id", Attr::I64(i64::from(node)))],
+                ));
+            }
+            Event::CacheMiss { node } => {
+                let target = inc_open.get(node as usize).copied().flatten().unwrap_or(0);
+                spans[target].events.push((
+                    t,
+                    "cache.miss",
+                    vec![("wf.node.id", Attr::I64(i64::from(node)))],
+                ));
+            }
+            Event::Fault { kind, node } => {
+                spans[0].events.push((
+                    t,
+                    "fault",
+                    vec![
+                        ("wf.fault.kind", Attr::Str(kind.label().to_string())),
+                        ("wf.node.id", Attr::I64(i64::from(node))),
+                    ],
+                ));
+            }
+            Event::FilesLost { count } => {
+                spans[0].events.push((
+                    t,
+                    "files_lost",
+                    vec![("wf.files.count", Attr::I64(i64::from(count)))],
+                ));
+            }
+            Event::RescueResubmit { task } => {
+                rescue_pending.insert(task, true);
+                spans[0].events.push((
+                    t,
+                    "rescue_resubmit",
+                    vec![("wf.task.id", Attr::I64(i64::from(task)))],
+                ));
+            }
+            Event::NodeRecovered { node } => {
+                spans[0].events.push((
+                    t,
+                    "node_recovered",
+                    vec![("wf.node.id", Attr::I64(i64::from(node)))],
+                ));
+            }
+            // Flow- and queue-level events are metrics material, not spans.
+            _ => {}
+        }
+    }
+
+    // Close everything still open (a run that ended mid-fault, rescue
+    // pending) at the last observed timestamp so intervals stay nested.
+    let open_left: Vec<u32> = open_tasks.keys().copied().collect();
+    for task in open_left {
+        let mut att = open_tasks.remove(&task).expect("key just listed");
+        close_phase(&mut spans, &ids, task, &mut att, t_end);
+        let s = &mut spans[att.span_ix];
+        s.end = t_end;
+        s.attrs
+            .push(("wf.task.outcome", Attr::Str("unfinished".to_string())));
+        let _ = att.node;
+    }
+    for slot in inc_open.iter_mut() {
+        if let Some(ix) = slot.take() {
+            spans[ix].end = t_end;
+        }
+    }
+    spans[0].end = t_end;
+
+    SpanForest {
+        trace_hi,
+        trace_lo,
+        spans,
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON rendering
+// ---------------------------------------------------------------------
+
+/// Escape a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// OTLP `AnyValue` JSON. int64 values are decimal strings, per the
+/// proto3 JSON mapping OTLP/JSON uses.
+fn attr_value_json(v: &Attr) -> String {
+    match v {
+        Attr::Str(s) => format!("{{\"stringValue\":\"{}\"}}", esc(s)),
+        Attr::I64(n) => format!("{{\"intValue\":\"{n}\"}}"),
+        Attr::F64(f) => format!("{{\"doubleValue\":{f}}}"),
+        Attr::Bool(b) => format!("{{\"boolValue\":{b}}}"),
+    }
+}
+
+fn attrs_json(attrs: &[(&'static str, Attr)]) -> String {
+    let parts: Vec<String> = attrs
+        .iter()
+        .map(|(k, v)| format!("{{\"key\":\"{k}\",\"value\":{}}}", attr_value_json(v)))
+        .collect();
+    format!("[{}]", parts.join(","))
+}
+
+/// Shared resource block: service identity plus run metadata.
+fn resource_json(report: &ObsReport, labels: &OtlpLabels) -> String {
+    let service = if labels.service_name.is_empty() {
+        "wfsim"
+    } else {
+        &labels.service_name
+    };
+    let attrs: Vec<(&'static str, Attr)> = vec![
+        ("service.name", Attr::Str(service.to_string())),
+        ("wf.run.name", Attr::Str(labels.run_name.clone())),
+        ("wf.seed", Attr::I64(report.seed as i64)),
+        ("wf.storage.backend", Attr::Str(labels.storage.clone())),
+        ("wf.cluster.workers", Attr::I64(i64::from(labels.workers))),
+        ("wf.digest", Attr::Str(format!("{:016x}", report.digest))),
+    ];
+    format!("{{\"attributes\":{}}}", attrs_json(&attrs))
+}
+
+const SCOPE_JSON: &str = "{\"name\":\"wfobs\",\"version\":\"0.1.0\"}";
+
+fn span_json(s: &SpanBuf, trace_hi: u64, trace_lo: u64) -> String {
+    let trace_id = format!("{trace_hi:016x}{trace_lo:016x}");
+    let parent = if s.parent == 0 {
+        String::new()
+    } else {
+        format!("{:016x}", s.parent)
+    };
+    let events: Vec<String> = s
+        .events
+        .iter()
+        .map(|(t, name, attrs)| {
+            format!(
+                "{{\"timeUnixNano\":\"{t}\",\"name\":\"{name}\",\"attributes\":{}}}",
+                attrs_json(attrs)
+            )
+        })
+        .collect();
+    let links: Vec<String> = s
+        .links
+        .iter()
+        .map(|(id, kind)| {
+            format!(
+                "{{\"traceId\":\"{trace_id}\",\"spanId\":\"{id:016x}\",\"attributes\":\
+                 [{{\"key\":\"wf.link\",\"value\":{{\"stringValue\":\"{kind}\"}}}}]}}"
+            )
+        })
+        .collect();
+    format!(
+        "{{\"traceId\":\"{trace_id}\",\"spanId\":\"{:016x}\",\"parentSpanId\":\"{parent}\",\
+         \"name\":\"{}\",\"kind\":1,\"startTimeUnixNano\":\"{}\",\"endTimeUnixNano\":\"{}\",\
+         \"attributes\":{},\"events\":[{}],\"links\":[{}],\"status\":{{\"code\":{}}}}}",
+        s.id,
+        esc(&s.name),
+        s.start,
+        s.end,
+        attrs_json(&s.attrs),
+        events.join(","),
+        links.join(","),
+        s.status,
+    )
+}
+
+/// Render a Full-level report as an OTLP/JSON `ExportTraceServiceRequest`.
+///
+/// Byte-deterministic: same report + labels ⇒ identical output. Suitable
+/// for `POST /v1/traces` on any OTLP/HTTP collector.
+pub fn otlp_trace(report: &ObsReport, labels: &OtlpLabels) -> String {
+    let forest = build_spans(report, labels);
+    let spans: Vec<String> = forest
+        .spans
+        .iter()
+        .map(|s| span_json(s, forest.trace_hi, forest.trace_lo))
+        .collect();
+    format!(
+        "{{\"resourceSpans\":[{{\"resource\":{},\"scopeSpans\":[{{\"scope\":{SCOPE_JSON},\
+         \"spans\":[\n{}\n]}}]}}]}}\n",
+        resource_json(report, labels),
+        spans.join(",\n"),
+    )
+}
+
+/// Render the metrics registry of a Full-level report as an OTLP/JSON
+/// `ExportMetricsServiceRequest`: counters become cumulative monotonic
+/// sums, gauges become gauges, histograms keep their explicit bounds,
+/// and event-boundary time series become multi-point gauges.
+pub fn otlp_metrics(report: &ObsReport, labels: &OtlpLabels) -> String {
+    let t_end = report.events.last().map_or(0, |&(t, _)| t);
+    let mut metrics: Vec<String> = Vec::new();
+
+    for (name, v) in report.metrics.counters() {
+        metrics.push(format!(
+            "{{\"name\":\"wf.{name}\",\"sum\":{{\"dataPoints\":[{{\"startTimeUnixNano\":\"0\",\
+             \"timeUnixNano\":\"{t_end}\",\"asInt\":\"{v}\"}}],\"aggregationTemporality\":2,\
+             \"isMonotonic\":true}}}}"
+        ));
+    }
+    for (name, v) in report.metrics.gauges() {
+        metrics.push(format!(
+            "{{\"name\":\"wf.{name}\",\"gauge\":{{\"dataPoints\":[{{\"timeUnixNano\":\
+             \"{t_end}\",\"asDouble\":{v}}}]}}}}"
+        ));
+    }
+    for (name, h) in report.metrics.histograms() {
+        let bounds: Vec<String> = h.bounds.iter().map(|b| format!("{b}")).collect();
+        let counts: Vec<String> = h.counts.iter().map(|c| format!("\"{c}\"")).collect();
+        metrics.push(format!(
+            "{{\"name\":\"wf.{name}\",\"histogram\":{{\"dataPoints\":[{{\"startTimeUnixNano\":\
+             \"0\",\"timeUnixNano\":\"{t_end}\",\"count\":\"{}\",\"sum\":{},\"bucketCounts\":[{}],\
+             \"explicitBounds\":[{}]}}],\"aggregationTemporality\":2}}}}",
+            h.n,
+            h.sum,
+            counts.join(","),
+            bounds.join(","),
+        ));
+    }
+    let mut series_names: Vec<&str> = report.metrics.series_names().collect();
+    series_names.sort_unstable();
+    for name in series_names {
+        let Some(pts) = report.metrics.series(name) else {
+            continue;
+        };
+        let points: Vec<String> = pts
+            .iter()
+            .map(|&(t, v)| format!("{{\"timeUnixNano\":\"{t}\",\"asDouble\":{v}}}"))
+            .collect();
+        metrics.push(format!(
+            "{{\"name\":\"wf.{}\",\"gauge\":{{\"dataPoints\":[{}]}}}}",
+            esc(name),
+            points.join(","),
+        ));
+    }
+
+    format!(
+        "{{\"resourceMetrics\":[{{\"resource\":{},\"scopeMetrics\":[{{\"scope\":{SCOPE_JSON},\
+         \"metrics\":[\n{}\n]}}]}}]}}\n",
+        resource_json(report, labels),
+        metrics.join(",\n"),
+    )
+}
+
+pub mod decode {
+    //! Minimal OTLP/JSON reader — the conformance half of the export
+    //! contract, used only by tests. Dependency-free like the encoder: a
+    //! small JSON parser feeds plain structs that the property and parity
+    //! suites inspect. Not a general OTLP client; it reads exactly the
+    //! shape [`otlp_trace`](super::otlp_trace) and
+    //! [`otlp_metrics`](super::otlp_metrics) emit.
+
+    /// A decoded attribute value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum AttrVal {
+        /// `stringValue`.
+        Str(String),
+        /// `intValue` (decimal string in OTLP/JSON).
+        I64(i64),
+        /// `doubleValue`.
+        F64(f64),
+        /// `boolValue`.
+        Bool(bool),
+    }
+
+    impl AttrVal {
+        /// The string payload, if this is a string attribute.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                AttrVal::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The integer payload, if this is an int attribute.
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                AttrVal::I64(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The float payload, if this is a double attribute.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                AttrVal::F64(f) => Some(*f),
+                _ => None,
+            }
+        }
+
+        /// The bool payload, if this is a bool attribute.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                AttrVal::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+    }
+
+    /// A decoded span event.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct SpanEvent {
+        /// Event timestamp (simulated nanoseconds).
+        pub time: u64,
+        /// Event name.
+        pub name: String,
+        /// Event attributes.
+        pub attrs: Vec<(String, AttrVal)>,
+    }
+
+    /// A decoded span link.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Link {
+        /// Linked trace id (hex).
+        pub trace_id: String,
+        /// Linked span id (hex).
+        pub span_id: String,
+        /// Link attributes.
+        pub attrs: Vec<(String, AttrVal)>,
+    }
+
+    /// A decoded span.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Span {
+        /// Trace id (32 hex chars).
+        pub trace_id: String,
+        /// Span id (16 hex chars).
+        pub span_id: String,
+        /// Parent span id (empty for the root).
+        pub parent_span_id: String,
+        /// Span name.
+        pub name: String,
+        /// Start timestamp (simulated nanoseconds).
+        pub start: u64,
+        /// End timestamp (simulated nanoseconds).
+        pub end: u64,
+        /// Span attributes.
+        pub attrs: Vec<(String, AttrVal)>,
+        /// Span events.
+        pub events: Vec<SpanEvent>,
+        /// Span links.
+        pub links: Vec<Link>,
+        /// Status code: 0 unset, 1 ok, 2 error.
+        pub status_code: i64,
+    }
+
+    impl Span {
+        /// Look up an attribute by key.
+        pub fn attr(&self, key: &str) -> Option<&AttrVal> {
+            self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        }
+    }
+
+    /// A decoded `ExportTraceServiceRequest`.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Trace {
+        /// Resource attributes.
+        pub resource: Vec<(String, AttrVal)>,
+        /// All spans, in document order.
+        pub spans: Vec<Span>,
+    }
+
+    impl Trace {
+        /// Look up a resource attribute by key.
+        pub fn resource_attr(&self, key: &str) -> Option<&AttrVal> {
+            self.resource.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        }
+    }
+
+    /// One decoded metric (the aggregation kinds the encoder emits).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Metric {
+        /// Cumulative monotonic sum: `(name, value)`.
+        Sum(String, i64),
+        /// Gauge: `(name, points)`.
+        Gauge(String, Vec<(u64, f64)>),
+        /// Histogram: `(name, count, sum, bucket counts, bounds)`.
+        Histogram(String, u64, u64, Vec<u64>, Vec<u64>),
+    }
+
+    /// A decoded `ExportMetricsServiceRequest`.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct MetricsDoc {
+        /// Resource attributes.
+        pub resource: Vec<(String, AttrVal)>,
+        /// All metrics, in document order.
+        pub metrics: Vec<Metric>,
+    }
+
+    // --- tiny JSON value tree -----------------------------------------
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Json {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Json>),
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        fn get(&self, key: &str) -> Option<&Json> {
+            match self {
+                Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        fn arr(&self) -> &[Json] {
+            match self {
+                Json::Arr(items) => items,
+                _ => &[],
+            }
+        }
+
+        fn str_or(&self, default: &str) -> String {
+            match self {
+                Json::Str(s) => s.clone(),
+                _ => default.to_string(),
+            }
+        }
+
+        /// u64 encoded as a decimal string (OTLP/JSON int64 mapping) or a
+        /// bare number.
+        fn u64_of(&self) -> u64 {
+            match self {
+                Json::Str(s) => s.parse().unwrap_or(0),
+                Json::Num(f) => *f as u64,
+                _ => 0,
+            }
+        }
+
+        fn i64_of(&self) -> i64 {
+            match self {
+                Json::Str(s) => s.parse().unwrap_or(0),
+                Json::Num(f) => *f as i64,
+                _ => 0,
+            }
+        }
+    }
+
+    struct Parser<'a> {
+        b: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        fn ws(&mut self) {
+            while self.b.get(self.pos).is_some_and(u8::is_ascii_whitespace) {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.b.get(self.pos).copied()
+        }
+
+        fn value(&mut self) -> Result<Json, String> {
+            self.ws();
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => self.string().map(Json::Str),
+                Some(b't') => self.keyword("true", Json::Bool(true)),
+                Some(b'f') => self.keyword("false", Json::Bool(false)),
+                Some(b'n') => self.keyword("null", Json::Null),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+            }
+        }
+
+        fn keyword(&mut self, kw: &str, v: Json) -> Result<Json, String> {
+            if self.b[self.pos..].starts_with(kw.as_bytes()) {
+                self.pos += kw.len();
+                Ok(v)
+            } else {
+                Err(format!("bad keyword at byte {}", self.pos))
+            }
+        }
+
+        fn object(&mut self) -> Result<Json, String> {
+            self.pos += 1; // '{'
+            let mut pairs = Vec::new();
+            self.ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                self.ws();
+                let key = self.string()?;
+                self.ws();
+                if self.peek() != Some(b':') {
+                    return Err(format!("expected `:` at byte {}", self.pos));
+                }
+                self.pos += 1;
+                pairs.push((key, self.value()?));
+                self.ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected `,`/`}}` at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Json, String> {
+            self.pos += 1; // '['
+            let mut items = Vec::new();
+            self.ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,`/`]` at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            if self.peek() != Some(b'"') {
+                return Err(format!("expected string at byte {}", self.pos));
+            }
+            self.pos += 1;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .b
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                    16,
+                                )
+                                .map_err(|_| "bad \\u escape")?;
+                                out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                                self.pos += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        let rest = std::str::from_utf8(&self.b[self.pos..])
+                            .map_err(|_| "invalid UTF-8")?;
+                        let c = rest.chars().next().expect("nonempty");
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Json, String> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while let Some(b) = self.peek() {
+                match b {
+                    b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-' => self.pos += 1,
+                    _ => break,
+                }
+            }
+            std::str::from_utf8(&self.b[start..self.pos])
+                .map_err(|_| "invalid number".to_string())?
+                .parse::<f64>()
+                .map(Json::Num)
+                .map_err(|e| e.to_string())
+        }
+    }
+
+    fn parse(s: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            b: s.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.ws();
+        if p.pos != p.b.len() {
+            return Err(format!("trailing characters at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn decode_attrs(v: Option<&Json>) -> Vec<(String, AttrVal)> {
+        let mut out = Vec::new();
+        for kv in v.map_or(&[][..], Json::arr) {
+            let Some(key) = kv.get("key") else { continue };
+            let Some(value) = kv.get("value") else {
+                continue;
+            };
+            let decoded = if let Some(s) = value.get("stringValue") {
+                AttrVal::Str(s.str_or(""))
+            } else if let Some(n) = value.get("intValue") {
+                AttrVal::I64(n.i64_of())
+            } else if let Some(f) = value.get("doubleValue") {
+                match f {
+                    Json::Num(x) => AttrVal::F64(*x),
+                    _ => continue,
+                }
+            } else if let Some(b) = value.get("boolValue") {
+                match b {
+                    Json::Bool(x) => AttrVal::Bool(*x),
+                    _ => continue,
+                }
+            } else {
+                continue;
+            };
+            out.push((key.str_or(""), decoded));
+        }
+        out
+    }
+
+    /// Decode an `ExportTraceServiceRequest` JSON document.
+    pub fn trace(json: &str) -> Result<Trace, String> {
+        let doc = parse(json)?;
+        let mut resource = Vec::new();
+        let mut spans = Vec::new();
+        for rs in doc
+            .get("resourceSpans")
+            .ok_or("resourceSpans missing")?
+            .arr()
+        {
+            if resource.is_empty() {
+                resource = decode_attrs(rs.get("resource").and_then(|r| r.get("attributes")));
+            }
+            for ss in rs.get("scopeSpans").map_or(&[][..], Json::arr) {
+                for sp in ss.get("spans").map_or(&[][..], Json::arr) {
+                    let events = sp
+                        .get("events")
+                        .map_or(&[][..], Json::arr)
+                        .iter()
+                        .map(|e| SpanEvent {
+                            time: e.get("timeUnixNano").map_or(0, Json::u64_of),
+                            name: e.get("name").map_or(String::new(), |n| n.str_or("")),
+                            attrs: decode_attrs(e.get("attributes")),
+                        })
+                        .collect();
+                    let links = sp
+                        .get("links")
+                        .map_or(&[][..], Json::arr)
+                        .iter()
+                        .map(|l| Link {
+                            trace_id: l.get("traceId").map_or(String::new(), |v| v.str_or("")),
+                            span_id: l.get("spanId").map_or(String::new(), |v| v.str_or("")),
+                            attrs: decode_attrs(l.get("attributes")),
+                        })
+                        .collect();
+                    spans.push(Span {
+                        trace_id: sp.get("traceId").map_or(String::new(), |v| v.str_or("")),
+                        span_id: sp.get("spanId").map_or(String::new(), |v| v.str_or("")),
+                        parent_span_id: sp
+                            .get("parentSpanId")
+                            .map_or(String::new(), |v| v.str_or("")),
+                        name: sp.get("name").map_or(String::new(), |v| v.str_or("")),
+                        start: sp.get("startTimeUnixNano").map_or(0, Json::u64_of),
+                        end: sp.get("endTimeUnixNano").map_or(0, Json::u64_of),
+                        attrs: decode_attrs(sp.get("attributes")),
+                        events,
+                        links,
+                        status_code: sp
+                            .get("status")
+                            .and_then(|s| s.get("code"))
+                            .map_or(0, Json::i64_of),
+                    });
+                }
+            }
+        }
+        Ok(Trace { resource, spans })
+    }
+
+    /// Decode an `ExportMetricsServiceRequest` JSON document.
+    pub fn metrics(json: &str) -> Result<MetricsDoc, String> {
+        let doc = parse(json)?;
+        let mut resource = Vec::new();
+        let mut metrics = Vec::new();
+        for rm in doc
+            .get("resourceMetrics")
+            .ok_or("resourceMetrics missing")?
+            .arr()
+        {
+            if resource.is_empty() {
+                resource = decode_attrs(rm.get("resource").and_then(|r| r.get("attributes")));
+            }
+            for sm in rm.get("scopeMetrics").map_or(&[][..], Json::arr) {
+                for m in sm.get("metrics").map_or(&[][..], Json::arr) {
+                    let name = m.get("name").map_or(String::new(), |v| v.str_or(""));
+                    if let Some(sum) = m.get("sum") {
+                        let v = sum
+                            .get("dataPoints")
+                            .map_or(&[][..], Json::arr)
+                            .first()
+                            .and_then(|p| p.get("asInt"))
+                            .map_or(0, Json::i64_of);
+                        metrics.push(Metric::Sum(name, v));
+                    } else if let Some(g) = m.get("gauge") {
+                        let pts = g
+                            .get("dataPoints")
+                            .map_or(&[][..], Json::arr)
+                            .iter()
+                            .map(|p| {
+                                let t = p.get("timeUnixNano").map_or(0, Json::u64_of);
+                                let v = match p.get("asDouble") {
+                                    Some(Json::Num(x)) => *x,
+                                    _ => 0.0,
+                                };
+                                (t, v)
+                            })
+                            .collect();
+                        metrics.push(Metric::Gauge(name, pts));
+                    } else if let Some(h) = m.get("histogram") {
+                        let Some(p) = h.get("dataPoints").map_or(&[][..], Json::arr).first() else {
+                            continue;
+                        };
+                        let count = p.get("count").map_or(0, Json::u64_of);
+                        let sum = p.get("sum").map_or(0, Json::u64_of);
+                        let buckets = p
+                            .get("bucketCounts")
+                            .map_or(&[][..], Json::arr)
+                            .iter()
+                            .map(Json::u64_of)
+                            .collect();
+                        let bounds = p
+                            .get("explicitBounds")
+                            .map_or(&[][..], Json::arr)
+                            .iter()
+                            .map(Json::u64_of)
+                            .collect();
+                        metrics.push(Metric::Histogram(name, count, sum, buckets, bounds));
+                    }
+                }
+            }
+        }
+        Ok(MetricsDoc { resource, metrics })
+    }
+
+    /// Check the structural invariants every exported span tree must
+    /// satisfy: a single root, parent ids that resolve within the
+    /// document, one trace id shared by all spans, unique non-zero span
+    /// ids, and child intervals nested inside their parents'.
+    pub fn check_well_formed(trace: &Trace) -> Result<(), String> {
+        if trace.spans.is_empty() {
+            return Err("no spans in document".into());
+        }
+        let mut roots = 0usize;
+        let mut ids = std::collections::BTreeMap::new();
+        let trace_id = &trace.spans[0].trace_id;
+        if trace_id.len() != 32 || trace_id.chars().all(|c| c == '0') {
+            return Err(format!("bad trace id {trace_id:?}"));
+        }
+        for (i, s) in trace.spans.iter().enumerate() {
+            if s.trace_id != *trace_id {
+                return Err(format!("span {i} trace id {:?} differs", s.trace_id));
+            }
+            if s.span_id.len() != 16 || s.span_id.chars().all(|c| c == '0') {
+                return Err(format!("span {i} has invalid id {:?}", s.span_id));
+            }
+            if ids.insert(s.span_id.clone(), i).is_some() {
+                return Err(format!("duplicate span id {:?}", s.span_id));
+            }
+            if s.parent_span_id.is_empty() {
+                roots += 1;
+            }
+            if s.end < s.start {
+                return Err(format!("span {i} ends before it starts"));
+            }
+        }
+        if roots != 1 {
+            return Err(format!("expected a single root span, found {roots}"));
+        }
+        for (i, s) in trace.spans.iter().enumerate() {
+            if s.parent_span_id.is_empty() {
+                continue;
+            }
+            let Some(&p) = ids.get(&s.parent_span_id) else {
+                return Err(format!(
+                    "span {i} parent {:?} does not resolve",
+                    s.parent_span_id
+                ));
+            };
+            let parent = &trace.spans[p];
+            if s.start < parent.start || s.end > parent.end {
+                return Err(format!(
+                    "span {i} [{}, {}] not nested in parent [{}, {}]",
+                    s.start, s.end, parent.start, parent.end
+                ));
+            }
+            for l in &s.links {
+                if !ids.contains_key(&l.span_id) {
+                    return Err(format!("span {i} link {:?} does not resolve", l.span_id));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::{ObsHandle, ObsLevel};
+    use crate::event::FaultKind;
+
+    fn sample_report() -> ObsReport {
+        let h = ObsHandle::new(ObsLevel::Full, 7);
+        h.set_now(0);
+        h.emit(Event::SegmentOpen {
+            node: 0,
+            spot: false,
+        });
+        h.emit(Event::TaskStart {
+            task: 0,
+            node: 0,
+            attempt: 0,
+        });
+        h.set_now(250_000_000);
+        h.emit(Event::TaskPhase {
+            task: 0,
+            node: 0,
+            phase: Phase::Read,
+        });
+        h.emit(Event::StorageOp {
+            op: OpKind::Read,
+            node: 0,
+            bytes: 1000,
+        });
+        h.emit(Event::CacheMiss { node: 0 });
+        h.set_now(1_000_000_000);
+        h.emit(Event::TaskPhase {
+            task: 0,
+            node: 0,
+            phase: Phase::Compute,
+        });
+        h.set_now(2_000_000_000);
+        h.emit(Event::Fault {
+            kind: FaultKind::NodeCrash,
+            node: 0,
+        });
+        h.emit(Event::TaskKilled {
+            task: 0,
+            node: 0,
+            wasted_nanos: 2_000_000_000,
+        });
+        h.emit(Event::SegmentClose { node: 0 });
+        h.set_now(2_100_000_000);
+        h.emit(Event::SegmentOpen {
+            node: 0,
+            spot: false,
+        });
+        h.emit(Event::TaskStart {
+            task: 0,
+            node: 0,
+            attempt: 0,
+        });
+        h.set_now(3_000_000_000);
+        h.emit(Event::TaskEnd {
+            task: 0,
+            node: 0,
+            attempt: 1,
+        });
+        h.emit(Event::SegmentClose { node: 0 });
+        h.take_report().unwrap()
+    }
+
+    fn labels() -> OtlpLabels {
+        OtlpLabels {
+            service_name: "wfsim".into(),
+            run_name: "sample".into(),
+            storage: "NFS".into(),
+            workers: 1,
+            task_names: vec!["mAdd".into()],
+            node_names: vec!["w0".into()],
+            segments: vec![
+                SegmentLabel {
+                    node: 0,
+                    itype: "c1.xlarge".into(),
+                    spot: false,
+                    secs: 2.0,
+                },
+                SegmentLabel {
+                    node: 0,
+                    itype: "c1.xlarge".into(),
+                    spot: false,
+                    secs: 0.9,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn export_round_trips_and_is_well_formed() {
+        let report = sample_report();
+        let json = otlp_trace(&report, &labels());
+        let t = decode::trace(&json).expect("decodes");
+        decode::check_well_formed(&t).expect("well-formed");
+        // run root + 2 node incarnations + 2 task attempts + phases
+        // (overhead, read, compute of attempt 0; overhead of attempt 1).
+        assert_eq!(t.spans.len(), 1 + 2 + 2 + 4, "{json}");
+        assert_eq!(
+            t.resource_attr("wf.storage.backend").unwrap().as_str(),
+            Some("NFS")
+        );
+        let root = t
+            .spans
+            .iter()
+            .find(|s| s.parent_span_id.is_empty())
+            .unwrap();
+        assert_eq!(root.name, "run sample");
+        assert!(root.events.iter().any(|e| e.name == "fault"));
+    }
+
+    #[test]
+    fn retry_links_to_previous_attempt_and_kill_is_error() {
+        let t = decode::trace(&otlp_trace(&sample_report(), &labels())).unwrap();
+        let attempts: Vec<_> = t.spans.iter().filter(|s| s.name == "mAdd").collect();
+        assert_eq!(attempts.len(), 2);
+        let killed = attempts
+            .iter()
+            .find(|s| s.attr("wf.task.outcome").unwrap().as_str() == Some("killed"))
+            .expect("killed attempt present");
+        assert_eq!(killed.status_code, 2);
+        let retry = attempts
+            .iter()
+            .find(|s| s.attr("wf.task.outcome").unwrap().as_str() == Some("ok"))
+            .expect("successful attempt present");
+        assert_eq!(retry.links.len(), 1);
+        assert_eq!(retry.links[0].span_id, killed.span_id);
+        assert_eq!(
+            retry.links[0].attrs[0].1.as_str(),
+            Some("retry_of"),
+            "link kind"
+        );
+    }
+
+    #[test]
+    fn billing_attributes_follow_incarnation_order() {
+        let t = decode::trace(&otlp_trace(&sample_report(), &labels())).unwrap();
+        let incs: Vec<_> = t
+            .spans
+            .iter()
+            .filter(|s| s.attr("wf.billing.secs").is_some())
+            .collect();
+        assert_eq!(incs.len(), 2);
+        assert_eq!(incs[0].attr("wf.billing.secs").unwrap().as_f64(), Some(2.0));
+        assert_eq!(incs[1].attr("wf.billing.secs").unwrap().as_f64(), Some(0.9));
+        assert_eq!(
+            incs[1].links[0].attrs[0].1.as_str(),
+            Some("previous_incarnation")
+        );
+    }
+
+    #[test]
+    fn export_is_byte_deterministic() {
+        let report = sample_report();
+        assert_eq!(
+            otlp_trace(&report, &labels()),
+            otlp_trace(&report, &labels())
+        );
+        assert_eq!(
+            otlp_metrics(&report, &labels()),
+            otlp_metrics(&report, &labels())
+        );
+    }
+
+    #[test]
+    fn ids_derive_from_seed_and_digest() {
+        let report = sample_report();
+        let a = decode::trace(&otlp_trace(&report, &labels())).unwrap();
+        let b = decode::trace(&otlp_trace(&report, &labels())).unwrap();
+        assert_eq!(a.spans[0].trace_id, b.spans[0].trace_id);
+        // A different seed produces a different digest, hence new ids.
+        let other = {
+            let h = ObsHandle::new(ObsLevel::Full, 8);
+            h.emit(Event::BgDone);
+            h.take_report().unwrap()
+        };
+        let c = decode::trace(&otlp_trace(&other, &labels())).unwrap();
+        assert_ne!(a.spans[0].trace_id, c.spans[0].trace_id);
+    }
+
+    #[test]
+    fn metrics_round_trip() {
+        let report = sample_report();
+        let json = otlp_metrics(&report, &labels());
+        let doc = decode::metrics(&json).expect("decodes");
+        let sum = |name: &str| {
+            doc.metrics
+                .iter()
+                .find_map(|m| match m {
+                    decode::Metric::Sum(n, v) if n == name => Some(*v),
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        assert_eq!(sum("wf.tasks_started"), 2);
+        assert_eq!(sum("wf.tasks_finished"), 1);
+        assert_eq!(sum("wf.tasks_killed"), 1);
+        assert_eq!(sum("wf.cache_misses"), 1);
+        assert_eq!(
+            doc.resource,
+            decode::trace(&otlp_trace(&report, &labels()))
+                .unwrap()
+                .resource,
+            "trace and metrics share the resource block"
+        );
+    }
+
+    #[test]
+    fn empty_report_still_exports_single_root() {
+        let h = ObsHandle::new(ObsLevel::Full, 3);
+        let report = h.take_report().unwrap();
+        let t = decode::trace(&otlp_trace(&report, &OtlpLabels::default())).unwrap();
+        decode::check_well_formed(&t).expect("well-formed");
+        assert_eq!(t.spans.len(), 1);
+        assert_eq!(t.spans[0].start, t.spans[0].end);
+    }
+}

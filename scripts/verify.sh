@@ -16,6 +16,11 @@
 #                      of the committed baseline)
 # Golden digest:       repro --golden-digest (the fixed tiny workflow must
 #                      reproduce tests/golden_digest.txt bit for bit)
+# Golden OTLP:         repro --golden-otlp (the fixed run must re-export
+#                      tests/golden_otlp.json byte for byte)
+# OTLP conformance:    the wfengine/expt otlp test targets (well-formedness
+#                      proptests, edge cases, phase/cost parity), plus
+#                      wfobs standing alone without default features
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -49,6 +54,14 @@ cargo fmt --check
 
 echo "== golden digest =="
 cargo run --release -q -p expt --bin repro -- --golden-digest
+
+echo "== golden OTLP =="
+cargo run --release -q -p expt --bin repro -- --golden-otlp
+
+echo "== otlp conformance =="
+cargo test -q -p wfengine --test prop_otlp --test otlp_edge
+cargo test -q -p expt --test otlp_parity --test folded_golden
+cargo test -q -p wfobs --no-default-features
 
 echo "== perf smoke =="
 cargo run --release -q -p expt --bin repro -- --bench-smoke
