@@ -89,6 +89,7 @@ pub fn try_dispatch(sim: &mut Sim<World>, world: &mut World) {
         world.stall_until = None;
     }
     let mut examined = 0;
+    let mut dispatched = 0u32;
     let mut kept = std::collections::VecDeque::new();
     while let Some(task) = world.ready.pop_front() {
         if examined >= BACKFILL_WINDOW {
@@ -97,11 +98,21 @@ pub fn try_dispatch(sim: &mut Sim<World>, world: &mut World) {
         }
         examined += 1;
         match world.pick_node(task) {
-            Some(i) => dispatch(sim, world, task, i),
+            Some(i) => {
+                dispatch(sim, world, task, i);
+                dispatched += 1;
+            }
             None => kept.push_back(task),
         }
     }
     world.ready = kept;
+    // Re-sample queue depth after the drain, so depth decreases are
+    // observable too (live ready-depth widgets track both edges).
+    if dispatched > 0 {
+        world.obs.emit(Event::ReadyDepth {
+            depth: world.ready.len() as u32,
+        });
+    }
 }
 
 fn dispatch(sim: &mut Sim<World>, world: &mut World, task: TaskId, worker_ix: usize) {

@@ -40,7 +40,7 @@ pub use config::{
     FailureModel, FaultPlan, NodeCrashSpec, RetryBackoff, RunConfig, SchedulerPolicy, SpotSpec,
     StorageFailureSpec,
 };
-pub use run::{run_workflow, FaultSummary, ResourceRow, RunError, RunStats};
+pub use run::{run_workflow, run_workflow_with_obs, FaultSummary, ResourceRow, RunError, RunStats};
 pub use trace::{
     fault_summary_from_bus, jobstate_log, jobstate_log_from_bus, otlp_labels, phase_breakdown,
     phase_breakdown_from_bus, phase_breakdown_from_otlp, render_fault_summary,

@@ -143,8 +143,23 @@ impl std::error::Error for RunError {}
 /// Deterministic: the same workflow, config and seed produce identical
 /// results.
 pub fn run_workflow(workflow: Workflow, cfg: RunConfig) -> Result<RunStats, RunError> {
+    let obs = wfobs::ObsHandle::new(cfg.obs, cfg.seed);
+    run_workflow_with_obs(workflow, cfg, obs)
+}
+
+/// Like [`run_workflow`], but over a caller-built observability handle —
+/// the entry point for live consumption: attach
+/// [`ObsSink`](wfobs::ObsSink)s (TUI viewer, frame capturers) and tune
+/// the tick throttle before the run starts. Sinks are flushed exactly
+/// once, after the simulation drains and before statistics are
+/// extracted. Attaching sinks never changes the digest or the stats.
+pub fn run_workflow_with_obs(
+    workflow: Workflow,
+    cfg: RunConfig,
+    obs: wfobs::ObsHandle,
+) -> Result<RunStats, RunError> {
     let mut sim: Sim<World> = Sim::new();
-    sim.set_obs(wfobs::ObsHandle::new(cfg.obs, cfg.seed));
+    sim.set_obs(obs);
     let spec = {
         let mut s = cluster_spec_for(cfg.storage, cfg.workers, cfg.server_type);
         s.initialize_disks = cfg.initialize_disks;
@@ -166,6 +181,9 @@ pub fn run_workflow(workflow: Workflow, cfg: RunConfig) -> Result<RunStats, RunE
 
     sim.schedule_at(SimTime::ZERO, start_run);
     sim.run(&mut world);
+    // Final metric tick + sink flush — before the error checks, so a
+    // live viewer restores the terminal even when the run fails.
+    sim.obs().flush_sinks();
 
     let total = world.wf.task_count();
     if let Some(t) = world.aborted {

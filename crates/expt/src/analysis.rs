@@ -120,8 +120,25 @@ pub fn seed_robustness(app: App, workers: u32, seeds: &[u64]) -> Vec<RobustnessR
 /// Where one configuration's time went: run the cell and report the
 /// phase breakdown plus the hottest resources.
 pub fn bottleneck_report(app: App, storage: StorageKind, workers: u32, seed: u64) -> String {
+    bottleneck_report_sized(app, storage, workers, seed, false)
+}
+
+/// [`bottleneck_report`] with a choice of workflow size; `tiny` swaps in
+/// the shrunken workflow so a probe finishes in seconds.
+pub fn bottleneck_report_sized(
+    app: App,
+    storage: StorageKind,
+    workers: u32,
+    seed: u64,
+    tiny: bool,
+) -> String {
     let cfg = RunConfig::cell(storage, workers).with_seed(seed);
-    let stats = run_workflow(app.paper_workflow(), cfg).expect("cell runs");
+    let wf = if tiny {
+        app.tiny_workflow()
+    } else {
+        app.paper_workflow()
+    };
+    let stats = run_workflow(wf, cfg).expect("cell runs");
     let mut s = format!(
         "BOTTLENECKS — {app} on {} @ {workers} nodes ({:.0}s makespan)\n",
         storage.label(),

@@ -168,13 +168,18 @@ fn main() {
         // preserved reference solver and record the result in BENCH.json.
         //
         // The kernel hot path runs with the event bus disabled; hold it to
-        // within 2% of the committed baseline so instrumentation cost can
-        // never creep into the default configuration unnoticed. Raw wall
-        // time shifts with machine load, so the comparison is normalized
-        // by the co-measured reference solver (both engines run unchanged
-        // byte-for-byte code in the same process, so a sustained slowdown
-        // moves them together), and a violation is re-measured up to
-        // twice before it is declared a regression.
+        // within 5% of the committed baseline so instrumentation cost can
+        // never creep into the default configuration unnoticed (the digest
+        // bus alone costs ~15% on this path, so a real leak clears 5% by a
+        // wide margin). Raw wall time shifts with machine load, so the
+        // comparison is normalized by the co-measured reference solver
+        // (both engines run unchanged byte-for-byte code in the same
+        // process, so a sustained slowdown moves them together), and a
+        // violation is re-measured up to twice before it is declared a
+        // regression. The tolerance must stay above the benchmark's own
+        // run-to-run jitter of min_ms on shared hosts (observed >2%),
+        // because each passing run rewrites the baseline and a lucky fast
+        // sample would otherwise fail every honest run after it.
         let baseline = bench_baseline();
         let mut smoke = expt::perf::bench_smoke(20_000);
         print!("{}", expt::perf::render(&smoke));
@@ -190,7 +195,7 @@ fn main() {
                 let inc = minutes(&smoke, "incremental");
                 let naive = minutes(&smoke, "naive");
                 let scale = naive / old_naive;
-                let bound = old_inc * scale * 1.02;
+                let bound = old_inc * scale * 1.05;
                 println!(
                     "  disabled-bus check: {inc:.2}ms vs baseline {old_inc:.2}ms \
                      × load {scale:.3} → bound {bound:.2}ms"

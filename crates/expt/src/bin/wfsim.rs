@@ -4,23 +4,28 @@
 //! ```text
 //! wfsim run    --app montage --storage glusterfs-nufa --workers 4
 //!              [--tiny] [--seed N] [--data-aware] [--cluster K]
-//!              [--failures P --retries K] [--gantt] [--trace FILE]
-//!              [--trace-out FILE] [--metrics-out FILE] [--digest]
-//!              [--otlp-out DIR] [--folded-out FILE]
+//!              [--failures P --retries K] [--gantt] [--live]
+//!              [--trace FILE] [--trace-out FILE] [--metrics-out FILE]
+//!              [--digest] [--otlp-out DIR] [--folded-out FILE]
 //! wfsim sweep  --app broadband [--tiny] [--seed N]
 //! wfsim profile --app epigenome
 //! wfsim export --app montage --tiny --out montage.json
 //! wfsim run    --dax montage.json --storage s3 --workers 2
-//! wfsim bottleneck --app broadband --storage nfs --workers 4
+//! wfsim bottleneck --app broadband --storage nfs --workers 4 [--tiny]
 //! ```
+//!
+//! Unknown options are rejected with a "did you mean" hint — a typo like
+//! `--otpl-out` fails fast instead of silently running without export.
 
 use std::collections::HashMap;
+use wfcost::{BillingGranularity, CostModel};
 use wfdag::{cluster_horizontal, Workflow};
 use wfengine::{
-    jobstate_log, phase_breakdown, run_workflow, trace, FailureModel, RunConfig, SchedulerPolicy,
+    jobstate_log, phase_breakdown, run_workflow, run_workflow_with_obs, trace, FailureModel,
+    RunConfig, SchedulerPolicy,
 };
 use wfgen::{classify, profile, App};
-use wfstorage::StorageKind;
+use wfstorage::{cluster_spec_for, StorageKind};
 
 fn parse_storage(s: &str) -> StorageKind {
     match s {
@@ -58,23 +63,90 @@ struct Args {
     opts: HashMap<String, String>,
 }
 
-fn parse_args(argv: &[String]) -> Args {
+// Per-subcommand vocabularies: options take a value, flags don't.
+const RUN_OPTS: &[&str] = &[
+    "dax",
+    "app",
+    "cluster",
+    "storage",
+    "workers",
+    "seed",
+    "failures",
+    "retries",
+    "trace",
+    "trace-out",
+    "metrics-out",
+    "otlp-out",
+    "folded-out",
+];
+const RUN_FLAGS: &[&str] = &[
+    "tiny",
+    "data-aware",
+    "init-disks",
+    "gantt",
+    "digest",
+    "live",
+];
+const SWEEP_OPTS: &[&str] = &["app", "seed"];
+const SWEEP_FLAGS: &[&str] = &["tiny"];
+const PROFILE_OPTS: &[&str] = &["app"];
+const EXPORT_OPTS: &[&str] = &["dax", "app", "out", "cluster"];
+const EXPORT_FLAGS: &[&str] = &["tiny"];
+const BOTTLENECK_OPTS: &[&str] = &["app", "storage", "workers"];
+const BOTTLENECK_FLAGS: &[&str] = &["tiny"];
+
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur.push((prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+fn closest<'a>(key: &str, candidates: impl Iterator<Item = &'a str>) -> Option<&'a str> {
+    candidates
+        .map(|c| (levenshtein(key, c), c))
+        .filter(|&(d, _)| d <= 3)
+        .min()
+        .map(|(_, c)| c)
+}
+
+/// Parse `--key value` options and `--flag` switches against the
+/// subcommand's vocabulary. Anything unrecognised is a hard error with a
+/// nearest-match hint — silent typos have cost real runs their exports.
+fn parse_args(cmd: &str, argv: &[String], opt_keys: &[&str], flag_keys: &[&str]) -> Args {
     let mut flags = Vec::new();
     let mut opts = HashMap::new();
     let mut i = 0;
     while i < argv.len() {
         let a = &argv[i];
-        if let Some(key) = a.strip_prefix("--") {
-            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
-                opts.insert(key.to_string(), argv[i + 1].clone());
-                i += 2;
-            } else {
-                flags.push(key.to_string());
-                i += 1;
+        let Some(key) = a.strip_prefix("--") else {
+            die(&format!("unexpected argument {a:?} for `wfsim {cmd}`"));
+        };
+        if opt_keys.contains(&key) {
+            match argv.get(i + 1).filter(|v| !v.starts_with("--")) {
+                Some(v) => {
+                    opts.insert(key.to_string(), v.clone());
+                    i += 2;
+                }
+                None => die(&format!("--{key} requires a value")),
             }
-        } else {
-            flags.push(a.clone());
+        } else if flag_keys.contains(&key) {
+            flags.push(key.to_string());
             i += 1;
+        } else {
+            let mut msg = format!("unknown option --{key} for `wfsim {cmd}`");
+            if let Some(s) = closest(key, opt_keys.iter().chain(flag_keys.iter()).copied()) {
+                msg.push_str(&format!(" (did you mean --{s}?)"));
+            }
+            die(&msg);
         }
     }
     Args { flags, opts }
@@ -138,20 +210,48 @@ fn build_config(args: &Args) -> RunConfig {
     cfg
 }
 
+/// Node labels and billing rates for the live viewer, mirroring the
+/// cluster the engine will provision: workers `w0..wn-1` first, then the
+/// storage server (`srv`) when the backend uses one.
+fn tui_config(wf: &Workflow, cfg: &RunConfig, backend: &str) -> wfobs::TuiConfig {
+    let spec = cluster_spec_for(cfg.storage, cfg.workers, cfg.server_type);
+    let rate = |t: vcluster::InstanceType| wfobs::NodeRate {
+        cents_per_hour: t.price_cents_per_hour(),
+        spot_cents_per_hour: t.spot_price_cents_per_hour(),
+    };
+    let mut node_names: Vec<String> = (0..spec.workers).map(|i| format!("w{i}")).collect();
+    let mut node_rates: Vec<wfobs::NodeRate> =
+        (0..spec.workers).map(|_| rate(spec.worker_type)).collect();
+    if let Some(srv) = spec.storage_server {
+        node_names.push("srv".to_owned());
+        node_rates.push(rate(srv));
+    }
+    wfobs::TuiConfig {
+        title: wf.name.clone(),
+        backend: backend.to_owned(),
+        total_tasks: wf.task_count() as u32,
+        task_names: wf.tasks().iter().map(|t| t.name.clone()).collect(),
+        node_names,
+        node_rates,
+        ..wfobs::TuiConfig::default()
+    }
+}
+
 fn cmd_run(args: &Args) {
     let wf = load_workflow(args);
     let mut cfg = build_config(args);
-    // Exporters need the recorded event stream; a bare --digest only needs
-    // the streaming hash. Anything else leaves the bus disabled.
-    if args.opts.contains_key("trace-out")
+    // Exporters need the recorded event stream; everything else runs at
+    // Digest level (streaming hash + sink fan-out, bounded memory) so the
+    // end-of-run summary always has a digest to report.
+    cfg.obs = if args.opts.contains_key("trace-out")
         || args.opts.contains_key("metrics-out")
         || args.opts.contains_key("otlp-out")
         || args.opts.contains_key("folded-out")
     {
-        cfg.obs = wfobs::ObsLevel::Full;
-    } else if args.flags.iter().any(|f| f == "digest") {
-        cfg.obs = wfobs::ObsLevel::Digest;
-    }
+        wfobs::ObsLevel::Full
+    } else {
+        wfobs::ObsLevel::Digest
+    };
     let workers = cfg.workers;
     let storage_label = cfg.storage.label();
     println!(
@@ -162,7 +262,18 @@ fn cmd_run(args: &Args) {
         workers
     );
     let wf_for_log = wf.clone();
-    match run_workflow(wf, cfg) {
+    let obs = wfobs::ObsHandle::new(cfg.obs, cfg.seed);
+    if args.flags.iter().any(|f| f == "live") {
+        let (cols, rows) = wfobs::term_size_from_env();
+        obs.set_tick_interval(wfobs::DEFAULT_TICK_NANOS);
+        obs.add_sink(Box::new(wfobs::LiveSink::new(
+            tui_config(&wf_for_log, &cfg, storage_label),
+            wfobs::detect_live_mode(),
+            cols,
+            rows,
+        )));
+    }
+    match run_workflow_with_obs(wf, cfg, obs) {
         Ok(stats) => {
             println!(
                 "makespan {:.1}s  events {}  retries {}  io-fraction {:.1}%",
@@ -227,6 +338,20 @@ fn cmd_run(args: &Args) {
             if let Some(d) = stats.digest {
                 println!("run digest {d:016x}");
             }
+            // One-line machine-greppable summary on stderr, so runs
+            // without exporters aren't silent.
+            let cost = CostModel::default()
+                .segments_cents(&stats.faults.segments, BillingGranularity::PerHour)
+                / 100.0;
+            let f = &stats.faults;
+            let fault_count = f.node_crashes + f.spot_terminations + f.storage_failures;
+            let digest = stats
+                .digest
+                .map_or_else(|| "-".to_owned(), |d| format!("{d:016x}"));
+            eprintln!(
+                "wfsim: makespan {:.1}s cost ${cost:.2} digest {digest} faults {fault_count}",
+                stats.makespan_secs
+            );
         }
         Err(e) => die(&format!("run failed: {e}")),
     }
@@ -325,9 +450,10 @@ fn cmd_bottleneck(args: &Args) {
         .get("workers")
         .map_or(Ok(4), |w| w.parse())
         .unwrap_or_else(|_| die("--workers must be a number"));
+    let tiny = args.flags.iter().any(|f| f == "tiny");
     print!(
         "{}",
-        expt::analysis::bottleneck_report(app, storage, workers, 42)
+        expt::analysis::bottleneck_report_sized(app, storage, workers, 42, tiny)
     );
 }
 
@@ -336,13 +462,18 @@ fn main() {
     let Some(cmd) = argv.first().cloned() else {
         die("missing subcommand (run|sweep|profile|export|bottleneck)");
     };
-    let args = parse_args(&argv[1..]);
+    let rest = &argv[1..];
     match cmd.as_str() {
-        "run" => cmd_run(&args),
-        "sweep" => cmd_sweep(&args),
-        "profile" => cmd_profile(&args),
-        "export" => cmd_export(&args),
-        "bottleneck" => cmd_bottleneck(&args),
+        "run" => cmd_run(&parse_args("run", rest, RUN_OPTS, RUN_FLAGS)),
+        "sweep" => cmd_sweep(&parse_args("sweep", rest, SWEEP_OPTS, SWEEP_FLAGS)),
+        "profile" => cmd_profile(&parse_args("profile", rest, PROFILE_OPTS, &[])),
+        "export" => cmd_export(&parse_args("export", rest, EXPORT_OPTS, EXPORT_FLAGS)),
+        "bottleneck" => cmd_bottleneck(&parse_args(
+            "bottleneck",
+            rest,
+            BOTTLENECK_OPTS,
+            BOTTLENECK_FLAGS,
+        )),
         other => die(&format!("unknown subcommand {other:?}")),
     }
 }

@@ -1,0 +1,113 @@
+//! Metamorphic determinism: attaching a live viewer must be invisible
+//! to the run. A run with a `FrameSink` attached (frames rendered
+//! headlessly on every sim-time tick, exactly what `wfsim run --live`
+//! does minus the terminal writes) produces the identical run digest
+//! and byte-identical OTLP exports as the same seed with no sink — the
+//! ISSUE 5 acceptance criterion, and the contract that makes `--live`
+//! safe to leave on for replay-verified experiments.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use wfengine::{run_workflow_with_obs, RunConfig, RunStats};
+use wfgen::App;
+use wfobs::{FrameSink, ObsHandle, ObsLevel, TuiConfig};
+use wfstorage::StorageKind;
+
+const SEED: u64 = 42;
+const WORKERS: u32 = 3;
+const KIND: StorageKind = StorageKind::GlusterNufa;
+
+fn run(with_sink: bool) -> (RunStats, Vec<(u64, String)>) {
+    let wf = App::Montage.tiny_workflow();
+    let cfg = RunConfig::cell(KIND, WORKERS)
+        .with_seed(SEED)
+        .with_obs(ObsLevel::Full);
+    let obs = ObsHandle::new(ObsLevel::Full, SEED);
+    let frames = Rc::new(RefCell::new(Vec::new()));
+    if with_sink {
+        obs.set_tick_interval(wfobs::DEFAULT_TICK_NANOS);
+        obs.add_sink(Box::new(FrameSink::new(
+            TuiConfig {
+                title: wf.name.clone(),
+                backend: KIND.label().to_owned(),
+                total_tasks: wf.task_count() as u32,
+                task_names: wf.tasks().iter().map(|t| t.name.clone()).collect(),
+                node_names: (0..WORKERS).map(|i| format!("w{i}")).collect(),
+                ..TuiConfig::default()
+            },
+            100,
+            30,
+            10_000,
+            Rc::clone(&frames),
+        )));
+    }
+    let stats = run_workflow_with_obs(wf, cfg, obs).expect("run succeeds");
+    let captured = frames.borrow().clone();
+    (stats, captured)
+}
+
+fn otlp_bytes(stats: &RunStats) -> (String, String) {
+    let wf = App::Montage.tiny_workflow();
+    let report = stats.obs.as_ref().expect("Full level records a report");
+    let labels = wfengine::otlp_labels(stats, &wf, KIND.label(), WORKERS);
+    (
+        wfobs::otlp_trace(report, &labels),
+        wfobs::otlp_metrics(report, &labels),
+    )
+}
+
+#[test]
+fn live_sink_is_digest_and_otlp_invariant() {
+    let (plain, no_frames) = run(false);
+    let (live, frames) = run(true);
+
+    assert!(no_frames.is_empty(), "no sink, no frames");
+    assert!(
+        frames.len() > 3,
+        "the live run rendered frames while in flight (got {})",
+        frames.len()
+    );
+
+    // The metamorphic core: same digest, same makespan, same events.
+    assert_eq!(
+        plain.digest.expect("digest on"),
+        live.digest.expect("digest on"),
+        "attaching a live viewer changed the run digest"
+    );
+    assert_eq!(plain.makespan_secs, live.makespan_secs);
+    assert_eq!(plain.events, live.events);
+
+    // And the exporters see byte-identical streams.
+    let (trace_a, metrics_a) = otlp_bytes(&plain);
+    let (trace_b, metrics_b) = otlp_bytes(&live);
+    assert_eq!(trace_a, trace_b, "OTLP trace bytes diverged");
+    assert_eq!(metrics_a, metrics_b, "OTLP metrics bytes diverged");
+}
+
+#[test]
+fn live_frames_replay_identically() {
+    // Same seed, same sink geometry → byte-identical frame sequence:
+    // the viewer itself is replay-deterministic (no wall clock anywhere
+    // in the state machine or renderer).
+    let (_, a) = run(true);
+    let (_, b) = run(true);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.0, y.0, "tick times diverged");
+        assert_eq!(x.1, y.1, "frame bytes diverged at t={}", x.0);
+    }
+}
+
+#[test]
+fn frame_geometry_holds_end_to_end() {
+    let (_, frames) = run(true);
+    for (t, frame) in &frames {
+        let lines: Vec<&str> = frame.split('\n').collect();
+        assert_eq!(lines.len(), 30, "rows at t={t}");
+        assert!(
+            lines.iter().all(|l| l.chars().count() == 100),
+            "cols at t={t}"
+        );
+    }
+}

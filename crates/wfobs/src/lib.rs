@@ -32,11 +32,18 @@ pub mod event;
 pub mod folded;
 pub mod metrics;
 pub mod otlp;
+pub mod sink;
+pub mod tui;
 
-pub use bus::{nanos_from_secs, ObsHandle, ObsLevel, ObsReport};
+pub use bus::{nanos_from_secs, ObsHandle, ObsLevel, ObsReport, DEFAULT_TICK_NANOS};
 pub use chrome::{chrome_trace, ChromeLabels};
 pub use digest::RunDigest;
 pub use event::{Event, FaultKind, OpKind, Phase};
 pub use folded::folded_storage_stacks;
 pub use metrics::{Histogram, Metrics};
 pub use otlp::{otlp_metrics, otlp_trace, OtlpLabels, SegmentLabel};
+pub use sink::{ObsSink, RingBufferSink};
+pub use tui::{
+    detect_live_mode, render_frame, term_size_from_env, FrameSink, LiveMode, LiveSink, NodeRate,
+    TuiConfig, TuiState,
+};

@@ -193,6 +193,43 @@ mod tests {
     }
 
     #[test]
+    fn empty_series_reads_and_renders_as_absent() {
+        let m = Metrics::default();
+        assert!(m.series("never_sampled").is_none());
+        assert_eq!(m.series_names().count(), 0);
+        // CSV carries the header only — no phantom series rows.
+        assert_eq!(m.to_csv(), "kind,name,field,value\n");
+    }
+
+    #[test]
+    fn single_sample_series_round_trips() {
+        let mut m = Metrics::default();
+        m.sample("lonely", 0, 0.0);
+        assert_eq!(m.series("lonely").unwrap(), &[(0, 0.0)]);
+        assert_eq!(m.series_names().collect::<Vec<_>>(), vec!["lonely"]);
+        assert!(m.to_csv().contains("series,lonely,t=0.000000000,0\n"));
+    }
+
+    #[test]
+    fn final_tick_at_run_end_dedups_only_exact_duplicates() {
+        // A run whose last metric tick lands exactly on the final event
+        // time: the flush-time re-sample of an unchanged value must not
+        // double the last point, but a changed value at the same instant
+        // must still be recorded.
+        let mut m = Metrics::default();
+        let end = 5_000_000_000;
+        m.sample("q", 1_000_000_000, 3.0);
+        m.sample("q", end, 1.0);
+        m.sample("q", end, 1.0); // flush re-sample, unchanged → dropped
+        assert_eq!(m.series("q").unwrap(), &[(1_000_000_000, 3.0), (end, 1.0)]);
+        m.sample("q", end, 0.0); // same instant, new value → kept
+        assert_eq!(
+            m.series("q").unwrap(),
+            &[(1_000_000_000, 3.0), (end, 1.0), (end, 0.0)]
+        );
+    }
+
+    #[test]
     fn csv_is_deterministic_and_sectioned() {
         let mut m = Metrics::default();
         m.count("b_counter", 2);

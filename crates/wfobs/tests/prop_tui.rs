@@ -1,0 +1,121 @@
+//! Property tests for the headless TUI renderer: for random event
+//! sequences and random geometries, `render_frame` returns exactly
+//! `rows` lines of exactly `cols` printable-ASCII characters each — the
+//! invariant that lets the live viewer repaint with bare cursor-home
+//! escapes and no clearing.
+
+use proptest::prelude::*;
+use wfobs::{render_frame, Event, FaultKind, Phase, TuiConfig, TuiState};
+
+/// One scripted observability event, scaled onto a small id space so
+/// lifecycles actually collide across lanes and nodes.
+#[derive(Debug, Clone, Copy)]
+struct Step {
+    dt_ms: u16,
+    kind: u8,
+    a: u8,
+    b: u8,
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    (0u16..5_000, 0u8..12, 0u8..8, 0u8..4).prop_map(|(dt_ms, kind, a, b)| Step {
+        dt_ms,
+        kind,
+        a,
+        b,
+    })
+}
+
+fn event_for(s: Step) -> Event {
+    let task = u32::from(s.a);
+    let node = u32::from(s.b);
+    match s.kind {
+        0 => Event::TaskStart {
+            task,
+            node,
+            attempt: u32::from(s.a % 3),
+        },
+        1 => Event::TaskPhase {
+            task,
+            node,
+            phase: match s.a % 6 {
+                0 => Phase::Ops,
+                1 => Phase::StageIn,
+                2 => Phase::Read,
+                3 => Phase::Compute,
+                4 => Phase::Write,
+                _ => Phase::StageOut,
+            },
+        },
+        2 => Event::TaskEnd {
+            task,
+            node,
+            attempt: 1,
+        },
+        3 => Event::TaskKilled {
+            task,
+            node,
+            wasted_nanos: u64::from(s.dt_ms) * 1_000_000,
+        },
+        4 => Event::TaskFailed { task, node },
+        5 => Event::ReadyDepth { depth: task },
+        6 => Event::StorageOp {
+            op: wfobs::OpKind::Read,
+            node,
+            bytes: u64::from(s.a) * 1_000_000,
+        },
+        7 => Event::Fault {
+            kind: match s.a % 3 {
+                0 => FaultKind::NodeCrash,
+                1 => FaultKind::SpotTermination,
+                _ => FaultKind::StorageFailure,
+            },
+            node,
+        },
+        8 => Event::NodeRecovered { node },
+        9 => Event::SegmentOpen {
+            node,
+            spot: s.a.is_multiple_of(2),
+        },
+        10 => Event::SegmentClose { node },
+        _ => Event::FilesLost {
+            count: u32::from(s.a),
+        },
+    }
+}
+
+proptest! {
+    #[test]
+    fn every_frame_fits_exactly(
+        steps in proptest::collection::vec(step(), 0..120),
+        cols in 1usize..200,
+        rows in 1usize..60,
+        ticks in 1u8..8,
+    ) {
+        let mut state = TuiState::new(TuiConfig {
+            total_tasks: 8,
+            window_secs: 30.0,
+            ..TuiConfig::default()
+        });
+        let mut t = 0u64;
+        let tick_every = (steps.len() / usize::from(ticks)).max(1);
+        for (i, s) in steps.iter().enumerate() {
+            t += u64::from(s.dt_ms) * 1_000_000;
+            state.apply(t, &event_for(*s));
+            if i.is_multiple_of(tick_every) {
+                state.tick(t);
+            }
+            let frame = render_frame(&state, cols, rows);
+            let lines: Vec<&str> = frame.split('\n').collect();
+            prop_assert_eq!(lines.len(), rows, "row count at step {}", i);
+            for line in &lines {
+                prop_assert_eq!(line.chars().count(), cols, "line width at step {}", i);
+                prop_assert!(
+                    line.chars().all(|c| (' '..='~').contains(&c)),
+                    "non-printable char in {:?}",
+                    line
+                );
+            }
+        }
+    }
+}

@@ -12,7 +12,7 @@
 #                      no #[ignore] without a reason string
 # Perf smoke:          repro --bench-smoke (writes BENCH.json; asserts the
 #                      incremental and reference flow engines agree, and
-#                      that the disabled-bus kernel path stays within 2%
+#                      that the disabled-bus kernel path stays within 5%
 #                      of the committed baseline)
 # Golden digest:       repro --golden-digest (the fixed tiny workflow must
 #                      reproduce tests/golden_digest.txt bit for bit)
@@ -21,6 +21,10 @@
 # OTLP conformance:    the wfengine/expt otlp test targets (well-formedness
 #                      proptests, edge cases, phase/cost parity), plus
 #                      wfobs standing alone without default features
+# Live TUI:            golden-frame + live-determinism test targets, the
+#                      frame-geometry proptest, and `wfsim run --live`
+#                      under TERM=dumb (must fall back to plain `live:`
+#                      lines with zero ANSI escape bytes on stderr)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -62,6 +66,30 @@ echo "== otlp conformance =="
 cargo test -q -p wfengine --test prop_otlp --test otlp_edge
 cargo test -q -p expt --test otlp_parity --test folded_golden
 cargo test -q -p wfobs --no-default-features
+
+echo "== live TUI: golden frames + determinism + geometry =="
+cargo test -q -p expt --test tui_golden --test live_determinism
+cargo test -q -p wfobs --test prop_tui
+
+echo "== live TUI: graceful degradation under TERM=dumb =="
+cargo build --release -q -p expt
+live_err="$(mktemp)"
+TERM=dumb COLUMNS=100 LINES=30 ./target/release/wfsim run \
+    --app montage --tiny --storage s3 --workers 2 --live \
+    >/dev/null 2>"$live_err"
+if grep -q $'\x1b' "$live_err"; then
+    echo "error: wfsim --live leaked ANSI escapes under TERM=dumb" >&2
+    exit 1
+fi
+if ! grep -q '^live: ' "$live_err"; then
+    echo "error: wfsim --live under TERM=dumb printed no plain progress lines" >&2
+    exit 1
+fi
+if ! grep -q '^wfsim: makespan ' "$live_err"; then
+    echo "error: wfsim run printed no end-of-run summary on stderr" >&2
+    exit 1
+fi
+rm -f "$live_err"
 
 echo "== perf smoke =="
 cargo run --release -q -p expt --bin repro -- --bench-smoke
